@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+``REPRO_BENCH_SCALE`` (float, default 0.3) controls the corpus fraction
+used by every benchmark; 1.0 regenerates the paper-sized corpus. The
+dataset is built once per session and shared through the experiments'
+``cached_build``.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import cached_build
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def build(bench_scale):
+    """The shared dataset build (constructed once per session)."""
+    return cached_build(bench_scale)

@@ -1,0 +1,17 @@
+"""Benchmark: risk-evolution analysis (extension experiment)."""
+
+from repro.experiments import evolution_analysis
+
+
+def test_bench_evolution(benchmark, bench_scale, capsys):
+    figure = benchmark.pedantic(
+        evolution_analysis.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    report = figure.report
+    # The latent chain is lazy: persistence dominates transitions.
+    assert figure.persistence > 0.4
+    # A substantial share of users escalate at least once (risk evolves).
+    assert report.escalation_prevalence > 0.2
+    with capsys.disabled():
+        print()
+        print(evolution_analysis.render(figure))

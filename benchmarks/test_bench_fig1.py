@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 1 (posts-per-user distribution)."""
+
+from repro.experiments import fig1_posts_per_user
+
+
+def test_bench_fig1(benchmark, bench_scale, capsys):
+    data = benchmark.pedantic(
+        fig1_posts_per_user.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    # Paper: "the majority of users have fewer than 20 historical posts".
+    assert data.fraction_under_20 > 0.5
+    # Long right tail exists.
+    assert data.counts_per_user.max() > 5 * data.median_posts
+    with capsys.disabled():
+        print()
+        print(fig1_posts_per_user.render(data))

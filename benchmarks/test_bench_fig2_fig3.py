@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figures 2 & 3 (per-class word clouds)."""
+
+from repro.core.schema import ALL_LEVELS, RiskLevel
+from repro.experiments import fig23_wordclouds
+
+
+def test_bench_fig2_fig3(benchmark, bench_scale, capsys):
+    clouds = benchmark.pedantic(
+        fig23_wordclouds.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    assert set(clouds) == set(ALL_LEVELS)
+    for cloud in clouds.values():
+        assert cloud.support > 0
+        assert cloud.top(5)
+        assert all(0 < w <= 1.0 for _, w in cloud.top(20))
+    # Figure 2/3 ordering: Ideation is the largest class, Attempt smallest.
+    assert clouds[RiskLevel.IDEATION].support > clouds[RiskLevel.ATTEMPT].support
+    with capsys.disabled():
+        print()
+        print(fig23_wordclouds.render(clouds, k=8))

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 4 (top-20 most active users)."""
+
+from repro.experiments import fig4_top_users
+
+
+def test_bench_fig4(benchmark, bench_scale, capsys):
+    profiles = benchmark.pedantic(
+        fig4_top_users.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    assert len(profiles) == 20
+    # Ranks ordered by activity, identifiers anonymised to ranks.
+    totals = [p.total_posts for p in profiles]
+    assert totals == sorted(totals, reverse=True)
+    assert all(p.total_posts == sum(p.counts.values()) for p in profiles)
+    with capsys.disabled():
+        print()
+        print(fig4_top_users.render(profiles))

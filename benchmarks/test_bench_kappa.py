@@ -1,0 +1,16 @@
+"""Benchmark: the annotation campaign's Fleiss κ (paper: 0.7206)."""
+
+from repro.experiments import kappa_consistency
+
+
+def test_bench_kappa(benchmark, bench_scale, capsys):
+    result = benchmark.pedantic(
+        kappa_consistency.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(f"kappa={result.kappa:.4f} (paper {kappa_consistency.PAPER_KAPPA}), "
+              f"{result.interpretation}, joint n={result.joint_samples}")
+    assert result.within_tolerance
+    assert result.interpretation == "substantial"
+    assert result.all_inspections_passed

@@ -1,0 +1,17 @@
+"""Benchmark: run-to-run stability of a baseline (paper §III-B)."""
+
+from repro.experiments import stability
+
+
+def test_bench_stability(benchmark, bench_scale, capsys):
+    result = benchmark.pedantic(
+        stability.run,
+        args=(bench_scale,),
+        kwargs={"model": "xgboost", "seeds": (0, 1, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(stability.render(result))
+    assert result.stable

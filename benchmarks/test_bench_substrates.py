@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the substrates (build, preprocess, models, nn).
+
+These are the performance-regression guards a downstream user of the
+library cares about, independent of the paper tables.
+"""
+
+import numpy as np
+
+from repro.annotation import AnnotationCampaign
+from repro.boosting import GBMParams, GradientBoostingClassifier
+from repro.core.config import AnnotationConfig, CorpusConfig
+from repro.corpus import generate_corpus
+from repro.models.plm import PLMConfig
+from repro.nn import Adam, Tensor, TransformerEncoder, cross_entropy, mean_pool
+from repro.preprocess import preprocess
+from repro.text import TfidfVectorizer
+
+
+def test_bench_corpus_generation(benchmark):
+    corpus = benchmark.pedantic(
+        lambda: generate_corpus(scale=0.1), rounds=1, iterations=1
+    )
+    assert len(corpus.annotated_posts) > 500
+
+
+def test_bench_preprocess(benchmark, build):
+    posts = build.corpus.annotated_posts
+    result = benchmark.pedantic(
+        preprocess, args=(posts,), kwargs={"enable_near_dedup": False},
+        rounds=1, iterations=1,
+    )
+    assert result.report.output_posts > 0
+
+
+def test_bench_annotation_campaign(benchmark, build):
+    posts = [
+        p for p in build.corpus.annotated_posts if p.oracle_label is not None
+    ][:1500]
+    result = benchmark.pedantic(
+        lambda: AnnotationCampaign(AnnotationConfig()).run(posts),
+        rounds=1, iterations=1,
+    )
+    assert result.num_labelled > 0
+
+
+def test_bench_tfidf(benchmark, build):
+    texts = [p.text for p in build.dataset.posts[:2000]]
+    matrix = benchmark.pedantic(
+        lambda: TfidfVectorizer(max_features=500).fit_transform(texts),
+        rounds=1, iterations=1,
+    )
+    assert matrix.shape[0] == len(texts)
+
+
+def test_bench_gbm_fit(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(600, 50))
+    y = (x[:, 0] + x[:, 1] > 0).astype(int) + (x[:, 2] > 0.8).astype(int)
+    model = benchmark.pedantic(
+        lambda: GradientBoostingClassifier(
+            GBMParams(n_estimators=20, max_depth=4)
+        ).fit(x, y),
+        rounds=1, iterations=1,
+    )
+    assert (model.predict(x) == y).mean() > 0.8
+
+
+def test_bench_transformer_step(benchmark):
+    rng = np.random.default_rng(0)
+    encoder = TransformerEncoder(500, 64, 2, 4, 96, rng, dropout=0.0)
+    from repro.nn import Linear
+
+    head = Linear(64, 4, rng)
+    params = list(encoder.parameters()) + list(head.parameters())
+    optimizer = Adam(params, lr=1e-3)
+    ids = rng.integers(5, 500, size=(16, 64))
+    mask = np.ones((16, 64))
+    y = rng.integers(0, 4, size=16)
+
+    def step():
+        logits = head(mean_pool(encoder(ids, mask=mask), mask))
+        loss = cross_entropy(logits, y)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss = benchmark.pedantic(step, rounds=3, iterations=1)
+    assert np.isfinite(loss)

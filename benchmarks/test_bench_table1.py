@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table I (class distribution)."""
+
+from repro.experiments import table1_distribution
+
+
+def test_bench_table1(benchmark, build, bench_scale, capsys):
+    rows = benchmark.pedantic(
+        table1_distribution.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    assert len(rows) == 4
+    assert sum(r.count for r in rows) == build.dataset.num_posts
+    # The synthetic mix tracks the published Table I within a few points.
+    assert table1_distribution.max_percentage_deviation(rows) < 6.0
+    with capsys.disabled():
+        print()
+        print(table1_distribution.render(rows))

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table II (dataset comparison)."""
+
+from repro.experiments import table2_comparison
+
+
+def test_bench_table2(benchmark, bench_scale, capsys):
+    rows = benchmark.pedantic(
+        table2_comparison.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    assert len(rows) == 9
+    ours = rows[-1]
+    checks = table2_comparison.advantage_checks(ours)
+    # At reduced scale the user count shrinks; structural claims must hold.
+    assert checks["post_and_user_level"]
+    assert checks["fine_grained"]
+    assert checks["fully_manual_and_available"]
+    with capsys.disabled():
+        print()
+        print(table2_comparison.render(rows))

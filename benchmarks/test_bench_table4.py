@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table IV (data scale vs model scale)."""
+
+from repro.experiments import table4_scale
+
+
+def test_bench_table4(benchmark, bench_scale, capsys):
+    result = benchmark.pedantic(
+        table4_scale.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(table4_scale.render(result))
+    # The paper's claim: the full-data base model matches or beats the
+    # small-data tuned large model on accuracy.
+    assert result.large_data.accuracy >= result.small_data.accuracy - 0.05

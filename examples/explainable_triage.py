@@ -1,0 +1,67 @@
+"""Explainable triage: assess users and show *why* (extension demo).
+
+Combines the high-level assessor, the feature-level explainer, and the
+risk-evolution analytics into the kind of inspectable triage report a
+clinical-deployment discussion (paper §IV/§V) calls for.
+
+Usage::
+
+    python examples/explainable_triage.py
+"""
+
+from repro import CorpusConfig, RiskLevel, analyse_evolution, build_dataset
+from repro.boosting import GBMParams
+from repro.eval.calibration import calibration_report
+from repro.eval.explain import RiskExplainer
+from repro.models import XGBoostBaseline
+
+import numpy as np
+
+
+def main() -> None:
+    dataset = build_dataset(CorpusConfig().scaled(0.1)).dataset
+    splits = dataset.splits()
+
+    model = XGBoostBaseline(params=GBMParams(n_estimators=30, max_depth=4))
+    model.fit(splits.train, splits.validation)
+    explainer = RiskExplainer(model, splits.train)
+
+    print("=== global importances (top 8) ===")
+    for name, weight in explainer.global_importances(8):
+        print(f"  {name:<28} {weight:.3f}")
+
+    print("\n=== per-class feature profiles (top 3 each) ===")
+    for level, profile in explainer.class_profiles(k=3).items():
+        features = ", ".join(f"{n} (z={z:+.1f})" for n, z in profile)
+        print(f"  {level.label:<10} {features}")
+
+    print("\n=== triage queue (test users, highest predicted risk first) ===")
+    preds = model.predict(splits.test)
+    probs = model.predict_proba(splits.test)
+    order = np.argsort(preds)[::-1][:5]
+    for idx in order:
+        window = splits.test[int(idx)]
+        level = RiskLevel(int(preds[idx]))
+        confidence = probs[idx, int(level)]
+        print(f"\n  {window.author}  ->  {level.label} "
+              f"(p={confidence:.2f}, true={window.label.label})")
+        for line in explainer.render(window, k=3).splitlines()[1:]:
+            print(line)
+
+    print("\n=== calibration of the triage scores ===")
+    y = np.array([int(w.label) for w in splits.test])
+    report = calibration_report(probs, y)
+    print(f"  ECE {report.ece:.3f}   MCE {report.mce:.3f}   "
+          f"Brier {report.brier:.3f}")
+
+    print("\n=== population risk evolution ===")
+    evolution = analyse_evolution(dataset)
+    print(f"  users: {evolution.num_users}, "
+          f"with >=1 escalation: {evolution.users_with_escalation} "
+          f"({100 * evolution.escalation_prevalence:.0f}%)")
+    print(f"  median gap before an escalation: "
+          f"{evolution.median_escalation_gap_hours:.0f} hours")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Risk-evolution monitoring — the dataset's headline application.
+
+The paper motivates RSD-15K with "modeling the dynamic evolution of
+suicide risk". This example trains an assessor, then replays users'
+posting histories chronologically and watches the predicted risk level
+move, raising an alert when it crosses the Behavior threshold.
+
+Usage::
+
+    python examples/risk_monitoring.py
+"""
+
+from repro import CorpusConfig, RiskAssessor, RiskLevel, build_dataset
+
+
+def sparkline(levels) -> str:
+    marks = {0: ".", 1: "-", 2: "=", 3: "#"}
+    return "".join(marks[int(lv)] for lv in levels)
+
+
+def main() -> None:
+    dataset = build_dataset(CorpusConfig().scaled(0.1)).dataset
+    assessor = RiskAssessor("xgboost").fit(dataset)
+
+    histories = dataset.histories()
+    # Watch the most active users: long histories show real evolution.
+    watchlist = dataset.most_active_users(8)
+
+    print("risk trajectories ( . IN  - ID  = BR  # AT ):\n")
+    for author in watchlist:
+        history = histories[author]
+        trajectory = assessor.risk_trajectory(history)
+        levels = [point.level for point in trajectory]
+        alert_at = next(
+            (i for i, lv in enumerate(levels) if lv >= RiskLevel.BEHAVIOR), None
+        )
+        marker = f"  ALERT at post {alert_at + 1}" if alert_at is not None else ""
+        print(f"  {author[:18]:<18} {sparkline(levels)}{marker}")
+
+    print("\ncurrent assessments:")
+    for author in watchlist[:4]:
+        level = assessor.assess(histories[author])
+        flag = "!" if level >= RiskLevel.BEHAVIOR else " "
+        print(f"  {flag} {author[:18]:<18} -> {level.label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Difficulty calibration: template-oracle ceiling vs XGBoost floor.
+
+Usage: python scripts/calibrate.py ls hf an [scale]
+"""
+
+import dataclasses
+import re
+import sys
+
+import numpy as np
+
+from repro import CorpusConfig, build_dataset
+from repro.core.schema import RiskLevel
+from repro.corpus.lexicon import (
+    HARD_SIGNAL_SENTENCES,
+    SIGNAL_SENTENCES,
+    SLOT_POOLS,
+)
+from repro.eval.metrics import accuracy, macro_f1
+from repro.models import create_model
+
+
+def bank_regexes():
+    regs = []
+    for lvl in RiskLevel:
+        for bank in (SIGNAL_SENTENCES[lvl], HARD_SIGNAL_SENTENCES[lvl]):
+            for t in bank:
+                pat = re.escape(t)
+                for slot in SLOT_POOLS:
+                    pat = pat.replace(re.escape("{" + slot + "}"), r".{2,30}?")
+                regs.append((re.compile(pat, re.IGNORECASE), lvl))
+    return regs
+
+
+REGS = bank_regexes()
+
+
+def oracle_level(text):
+    votes = np.zeros(4)
+    for rgx, lvl in REGS:
+        votes[int(lvl)] += len(rgx.findall(text))
+    if votes.sum() == 0:
+        return None
+    return int(votes.argmax())
+
+
+def main(ls, hf, an, scale=0.25):
+    cfg = dataclasses.replace(
+        CorpusConfig().scaled(scale),
+        lexical_strength=ls,
+        hard_fraction=hf,
+        ambiguity_noise=an,
+    )
+    res = build_dataset(cfg, near_dedup=False)
+    splits = res.dataset.splits()
+    allw = splits.train + splits.validation + splits.test
+    y = np.array([int(w.label) for w in allw])
+    yhat = np.array(
+        [
+            (
+                oracle_level(w.latest.text)
+                if oracle_level(w.latest.text) is not None
+                else 1
+            )
+            for w in allw
+        ]
+    )
+    print(
+        f"oracle: acc={accuracy(y, yhat):.3f} mf1={macro_f1(y, yhat):.3f}",
+    )
+    m = create_model("xgboost")
+    m.fit(splits.train, splits.validation)
+    yt = np.array([int(w.label) for w in splits.test])
+    pred = m.predict(splits.test)
+    print(f"xgboost: acc={accuracy(yt, pred):.3f} mf1={macro_f1(yt, pred):.3f}")
+
+
+if __name__ == "__main__":
+    args = [float(a) for a in sys.argv[1:]]
+    main(*args)

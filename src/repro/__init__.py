@@ -1,0 +1,51 @@
+"""repro — reproduction of the RSD-15K suicide-risk dataset paper (ICDE 2025).
+
+Public API tour
+---------------
+* :func:`repro.build_dataset` — run the full §II pipeline (synthetic crawl
+  → preprocessing → simulated annotation campaign) and get the released
+  :class:`repro.RSD15K` dataset.
+* :class:`repro.RiskAssessor` — fit any of the five §III baselines and
+  assess user histories, including risk-evolution trajectories.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.core.assessment import RiskAssessor, RiskTimepoint
+from repro.core.evolution import (
+    EvolutionReport,
+    UserEvolution,
+    analyse as analyse_evolution,
+    user_evolution,
+)
+from repro.core.config import (
+    AnnotationConfig,
+    CorpusConfig,
+    SplitConfig,
+    WindowConfig,
+)
+from repro.core.dataset import RSD15K
+from repro.core.pipeline import BuildReport, BuildResult, build_dataset
+from repro.core.schema import ALL_LEVELS, NUM_CLASSES, RiskLevel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RiskAssessor",
+    "RiskTimepoint",
+    "EvolutionReport",
+    "UserEvolution",
+    "analyse_evolution",
+    "user_evolution",
+    "AnnotationConfig",
+    "CorpusConfig",
+    "SplitConfig",
+    "WindowConfig",
+    "RSD15K",
+    "BuildReport",
+    "BuildResult",
+    "build_dataset",
+    "ALL_LEVELS",
+    "NUM_CLASSES",
+    "RiskLevel",
+    "__version__",
+]

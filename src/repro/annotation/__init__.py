@@ -1,0 +1,49 @@
+"""Annotation platform substrate, simulated annotators, and QC protocol."""
+
+from repro.annotation.agreement import (
+    cohen_kappa,
+    fleiss_kappa,
+    fleiss_kappa_from_annotations,
+    interpret_kappa,
+    percent_agreement,
+    rating_matrix,
+)
+from repro.annotation.annotators import (
+    ExpertSupervisor,
+    Judgement,
+    SimulatedAnnotator,
+    confusion_matrix,
+)
+from repro.annotation.platform import (
+    AnnotationTask,
+    LabelingProject,
+    TaskStatus,
+)
+from repro.annotation.process import (
+    AnnotationCampaign,
+    CampaignResult,
+    DailyLog,
+    TrainingReport,
+    annotate_corpus,
+)
+
+__all__ = [
+    "cohen_kappa",
+    "fleiss_kappa",
+    "fleiss_kappa_from_annotations",
+    "interpret_kappa",
+    "percent_agreement",
+    "rating_matrix",
+    "ExpertSupervisor",
+    "Judgement",
+    "SimulatedAnnotator",
+    "confusion_matrix",
+    "AnnotationTask",
+    "LabelingProject",
+    "TaskStatus",
+    "AnnotationCampaign",
+    "CampaignResult",
+    "DailyLog",
+    "TrainingReport",
+    "annotate_corpus",
+]

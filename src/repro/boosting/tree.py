@@ -1,0 +1,261 @@
+"""Regression trees on gradient/hessian statistics (XGBoost-style).
+
+Each tree minimises the second-order objective approximation: leaf weight
+``w* = −G/(H+λ)`` and split gain
+
+``gain = ½ [G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ``
+
+with exact greedy split search over sorted feature values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TreeParams:
+    """Growth hyper-parameters of one tree.
+
+    ``binned_max``: when the feature matrix contains integer bin indices
+    in ``[0, binned_max]`` (histogram mode), split search switches from
+    sort-based O(n log n) to bincount-based O(n + bins) per feature.
+    """
+
+    max_depth: int = 4
+    min_child_weight: float = 1.0
+    reg_lambda: float = 1.0
+    gamma: float = 0.0
+    min_gain: float = 1e-12
+    binned_max: int | None = None
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: float = 0.0
+    gain: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+@dataclass
+class RegressionTree:
+    """One fitted tree plus its per-feature gain accounting."""
+
+    params: TreeParams
+    root: _Node | None = None
+    feature_gains: dict[int, float] = field(default_factory=dict)
+
+    # -- fitting ---------------------------------------------------------------
+
+    def fit(
+        self,
+        features: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        sample_idx: np.ndarray | None = None,
+        feature_idx: np.ndarray | None = None,
+    ) -> "RegressionTree":
+        """Grow the tree on (gradient, hessian) statistics.
+
+        ``sample_idx``/``feature_idx`` restrict the rows/columns considered
+        (row subsampling and column subsampling).
+        """
+        if sample_idx is None:
+            sample_idx = np.arange(features.shape[0])
+        if feature_idx is None:
+            feature_idx = np.arange(features.shape[1])
+        self.root = self._grow(features, grad, hess, sample_idx, feature_idx, 0)
+        return self
+
+    def _leaf_value(self, g_sum: float, h_sum: float) -> float:
+        return -g_sum / (h_sum + self.params.reg_lambda)
+
+    def _grow(
+        self,
+        features: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        depth: int,
+    ) -> _Node:
+        g_sum = float(grad[rows].sum())
+        h_sum = float(hess[rows].sum())
+        node = _Node(value=self._leaf_value(g_sum, h_sum))
+        if depth >= self.params.max_depth or len(rows) < 2:
+            return node
+
+        best = self._best_split(features, grad, hess, rows, cols, g_sum, h_sum)
+        if best is None:
+            return node
+        gain, feature, threshold, left_rows, right_rows = best
+        node.feature = int(feature)
+        node.threshold = float(threshold)
+        node.gain = gain
+        self.feature_gains[int(feature)] = (
+            self.feature_gains.get(int(feature), 0.0) + gain
+        )
+        node.left = self._grow(features, grad, hess, left_rows, cols, depth + 1)
+        node.right = self._grow(features, grad, hess, right_rows, cols, depth + 1)
+        return node
+
+    def _best_split(
+        self,
+        features: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        g_total: float,
+        h_total: float,
+    ):
+        if self.params.binned_max is not None:
+            return self._best_split_hist(
+                features, grad, hess, rows, cols, g_total, h_total
+            )
+        lam = self.params.reg_lambda
+        parent_score = g_total**2 / (h_total + lam)
+        best_gain = self.params.min_gain
+        best = None
+        g = grad[rows]
+        h = hess[rows]
+        for feature in cols:
+            values = features[rows, feature]
+            order = np.argsort(values, kind="stable")
+            v_sorted = values[order]
+            g_cum = np.cumsum(g[order])
+            h_cum = np.cumsum(h[order])
+            # Candidate boundaries: positions where the value changes.
+            change = np.nonzero(v_sorted[:-1] < v_sorted[1:])[0]
+            if change.size == 0:
+                continue
+            g_left = g_cum[change]
+            h_left = h_cum[change]
+            g_right = g_total - g_left
+            h_right = h_total - h_left
+            valid = (h_left >= self.params.min_child_weight) & (
+                h_right >= self.params.min_child_weight
+            )
+            if not valid.any():
+                continue
+            gains = (
+                0.5
+                * (
+                    g_left**2 / (h_left + lam)
+                    + g_right**2 / (h_right + lam)
+                    - parent_score
+                )
+                - self.params.gamma
+            )
+            gains[~valid] = -np.inf
+            k = int(np.argmax(gains))
+            if gains[k] > best_gain:
+                boundary = change[k]
+                threshold = 0.5 * (v_sorted[boundary] + v_sorted[boundary + 1])
+                mask = values <= threshold
+                best_gain = float(gains[k])
+                best = (
+                    best_gain,
+                    feature,
+                    threshold,
+                    rows[mask],
+                    rows[~mask],
+                )
+        return best
+
+    def _best_split_hist(
+        self,
+        features: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        g_total: float,
+        h_total: float,
+    ):
+        """Histogram split search: bincount per feature, O(n + bins)."""
+        lam = self.params.reg_lambda
+        num_bins = int(self.params.binned_max) + 1
+        parent_score = g_total**2 / (h_total + lam)
+        best_gain = self.params.min_gain
+        best = None
+        g = grad[rows]
+        h = hess[rows]
+        for feature in cols:
+            values = features[rows, feature].astype(np.int64)
+            g_hist = np.bincount(values, weights=g, minlength=num_bins)
+            h_hist = np.bincount(values, weights=h, minlength=num_bins)
+            occupancy = np.bincount(values, minlength=num_bins)
+            g_left = np.cumsum(g_hist)[:-1]
+            h_left = np.cumsum(h_hist)[:-1]
+            g_right = g_total - g_left
+            h_right = h_total - h_left
+            occupied_left = np.cumsum(occupancy)[:-1]
+            valid = (
+                (h_left >= self.params.min_child_weight)
+                & (h_right >= self.params.min_child_weight)
+                & (occupied_left > 0)
+                & (occupied_left < len(rows))
+            )
+            if not valid.any():
+                continue
+            gains = (
+                0.5
+                * (
+                    g_left**2 / (h_left + lam)
+                    + g_right**2 / (h_right + lam)
+                    - parent_score
+                )
+                - self.params.gamma
+            )
+            gains[~valid] = -np.inf
+            k = int(np.argmax(gains))
+            if gains[k] > best_gain:
+                threshold = k + 0.5  # split between bin k and k+1
+                mask = values <= k
+                best_gain = float(gains[k])
+                best = (best_gain, feature, threshold, rows[mask], rows[~mask])
+        return best
+
+    # -- prediction --------------------------------------------------------------
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Leaf values for each row."""
+        if self.root is None:
+            raise RuntimeError("tree not fitted")
+        out = np.empty(features.shape[0])
+        # Iterative routing: queue of (node, row indices).
+        stack = [(self.root, np.arange(features.shape[0]))]
+        while stack:
+            node, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            if node.is_leaf:
+                out[rows] = node.value
+                continue
+            mask = features[rows, node.feature] <= node.threshold
+            stack.append((node.left, rows[mask]))
+            stack.append((node.right, rows[~mask]))
+        return out
+
+    def num_leaves(self) -> int:
+        if self.root is None:
+            return 0
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                count += 1
+            else:
+                stack.extend((node.left, node.right))
+        return count

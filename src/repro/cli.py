@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+build      Build a dataset and write it to JSONL.
+stats      Print Table-I-style statistics of a JSONL dataset.
+evaluate   Train a baseline on a freshly built dataset and report metrics.
+bench      Run one paper experiment (table1..table4, fig1, fig23, fig4,
+           kappa, ablations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import CorpusConfig
+from repro.core.dataset import RSD15K
+from repro.core.pipeline import build_dataset
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="corpus fraction (1.0 = paper-sized 14,613 posts)",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def _config(args) -> CorpusConfig:
+    config = CorpusConfig() if args.seed is None else CorpusConfig(seed=args.seed)
+    if args.scale != 1.0:
+        config = config.scaled(args.scale)
+    return config
+
+
+def cmd_build(args) -> int:
+    result = build_dataset(_config(args))
+    result.dataset.to_jsonl(args.output)
+    print(f"wrote {result.dataset.num_posts} posts "
+          f"({result.dataset.num_users} users) to {args.output}")
+    print(f"campaign kappa: {result.dataset.kappa:.4f}")
+    return 0
+
+
+def cmd_datacard(args) -> int:
+    from repro.core.datacard import render_datacard
+
+    dataset = RSD15K.from_jsonl(args.dataset)
+    card = render_datacard(dataset)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(card, encoding="utf-8")
+        print(f"wrote datasheet to {args.output}")
+    else:
+        print(card)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    dataset = RSD15K.from_jsonl(args.dataset)
+    print(f"posts: {dataset.num_posts}   users: {dataset.num_users}")
+    for label, count, pct in dataset.label_distribution().as_rows():
+        print(f"  {label:<10} {count:>7}  {pct:5.2f}%")
+    counts = sorted(dataset.posts_per_user().values())
+    under_20 = sum(1 for c in counts if c < 20) / len(counts)
+    print(f"posts/user: median {counts[len(counts) // 2]}, "
+          f"max {counts[-1]}, <20: {100 * under_20:.1f}%")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from repro.eval.reporting import to_markdown
+    from repro.eval.runner import evaluate_model
+
+    result = build_dataset(_config(args))
+    splits = result.dataset.splits()
+    kwargs = {}
+    if args.model in ("roberta", "deberta"):
+        kwargs["pretrain_texts"] = result.dataset.pretrain_texts[:6000]
+    report = evaluate_model(
+        args.model, splits.train, splits.validation, splits.test, **kwargs
+    )
+    print(to_markdown([report]))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.experiments import (
+        ablations,
+        fig1_posts_per_user,
+        fig23_wordclouds,
+        fig4_top_users,
+        kappa_consistency,
+        table1_distribution,
+        table2_comparison,
+        table3_baselines,
+        table4_scale,
+    )
+
+    mains = {
+        "table1": table1_distribution.main,
+        "table2": table2_comparison.main,
+        "table3": table3_baselines.main,
+        "table4": table4_scale.main,
+        "fig1": fig1_posts_per_user.main,
+        "fig23": fig23_wordclouds.main,
+        "fig4": fig4_top_users.main,
+        "kappa": kappa_consistency.main,
+        "ablations": ablations.main,
+    }
+    mains[args.experiment]()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RSD-15K reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build a dataset, write JSONL")
+    _add_scale(p_build)
+    p_build.add_argument("--output", default="rsd15k.jsonl")
+    p_build.set_defaults(func=cmd_build)
+
+    p_stats = sub.add_parser("stats", help="statistics of a JSONL dataset")
+    p_stats.add_argument("dataset")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_card = sub.add_parser(
+        "datacard", help="render a datasheet for a JSONL dataset"
+    )
+    p_card.add_argument("dataset")
+    p_card.add_argument("--output", default=None)
+    p_card.set_defaults(func=cmd_datacard)
+
+    p_eval = sub.add_parser("evaluate", help="train + evaluate a baseline")
+    _add_scale(p_eval)
+    p_eval.add_argument(
+        "--model", default="xgboost",
+        choices=["xgboost", "bilstm", "higru", "roberta", "deberta", "logreg"],
+    )
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_bench = sub.add_parser("bench", help="run one paper experiment")
+    p_bench.add_argument(
+        "experiment",
+        choices=["table1", "table2", "table3", "table4", "fig1", "fig23",
+                 "fig4", "kappa", "ablations"],
+    )
+    p_bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""The RSD-15K dataset object — the paper's primary artefact.
+
+Wraps the annotated corpus (posts + campaign labels + per-user
+chronological histories) behind the API the benchmark and the examples
+consume: label distributions, posts-per-user statistics, user-level
+prediction windows, user-disjoint splits, and JSONL round-tripping.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core.config import SplitConfig, WindowConfig
+from repro.core.errors import DatasetError
+from repro.core.schema import LabelDistribution, RiskLevel
+from repro.corpus.models import RedditPost, UserHistory
+from repro.eval.splits import WindowSplits, split_windows
+from repro.preprocess.partition import group_by_user
+from repro.temporal.windows import PostWindow, build_windows
+
+
+@dataclass
+class RSD15K:
+    """Annotated user-level suicide-risk dataset.
+
+    Attributes
+    ----------
+    posts:
+        All labelled posts (clean, chronological order).
+    labels:
+        post_id → final campaign label.
+    pretrain_texts:
+        Unannotated background texts (for language-model pretraining);
+        empty when loaded from disk unless they were exported too.
+    kappa:
+        Fleiss κ of the annotation campaign that produced the labels.
+    """
+
+    posts: list[RedditPost]
+    labels: dict[str, RiskLevel]
+    pretrain_texts: list[str] = field(default_factory=list)
+    kappa: float | None = None
+
+    def __post_init__(self) -> None:
+        missing = [p.post_id for p in self.posts if p.post_id not in self.labels]
+        if missing:
+            raise DatasetError(
+                f"{len(missing)} posts lack labels (e.g. {missing[:3]})"
+            )
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def num_posts(self) -> int:
+        return len(self.posts)
+
+    @property
+    def num_users(self) -> int:
+        return len({p.author for p in self.posts})
+
+    def label_of(self, post: RedditPost) -> RiskLevel:
+        return self.labels[post.post_id]
+
+    def label_distribution(self) -> LabelDistribution:
+        """Table I: post-level label counts."""
+        return LabelDistribution.from_labels(
+            self.labels[p.post_id] for p in self.posts
+        )
+
+    def posts_per_user(self) -> dict[str, int]:
+        """Fig 1: posting volume per author."""
+        counts: dict[str, int] = {}
+        for post in self.posts:
+            counts[post.author] = counts.get(post.author, 0) + 1
+        return counts
+
+    def histories(self) -> dict[str, UserHistory]:
+        """Per-user chronological histories."""
+        return group_by_user(self.posts)
+
+    def most_active_users(self, k: int = 20) -> list[str]:
+        """Fig 4: top-k authors by post volume (ties broken by name)."""
+        counts = self.posts_per_user()
+        return sorted(counts, key=lambda a: (-counts[a], a))[:k]
+
+    # -- task construction ---------------------------------------------------------
+
+    def windows(self, config: WindowConfig | None = None) -> list[PostWindow]:
+        """User-level prediction windows (label = latest post's label)."""
+        return build_windows(self.histories(), config, labels=self.labels)
+
+    def splits(
+        self,
+        window_config: WindowConfig | None = None,
+        split_config: SplitConfig | None = None,
+    ) -> WindowSplits:
+        """User-disjoint 80/10/10 window splits."""
+        return split_windows(self.windows(window_config), split_config)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path) -> None:
+        """Write one JSON record per post (schema mirrors the release)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            for post in self.posts:
+                record = {
+                    "post_id": post.post_id,
+                    "user_id": post.author,
+                    "subreddit": post.subreddit,
+                    "title": post.title,
+                    "body": post.body,
+                    "created_utc": post.created_utc.timestamp(),
+                    "label": self.labels[post.post_id].short,
+                }
+                handle.write(json.dumps(record) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path, kappa: float | None = None) -> "RSD15K":
+        """Load a dataset written by :meth:`to_jsonl`."""
+        posts: list[RedditPost] = []
+        labels: dict[str, RiskLevel] = {}
+        with open(Path(path), encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise DatasetError(f"bad JSON on line {line_no}") from exc
+                label = RiskLevel.from_any(record["label"])
+                post = RedditPost(
+                    post_id=record["post_id"],
+                    author=record["user_id"],
+                    subreddit=record.get("subreddit", "SuicideWatch"),
+                    title=record.get("title", ""),
+                    body=record.get("body", ""),
+                    created_utc=datetime.fromtimestamp(
+                        float(record["created_utc"]), tz=timezone.utc
+                    ),
+                    oracle_label=label,
+                )
+                posts.append(post)
+                labels[post.post_id] = label
+        posts.sort(key=lambda p: (p.created_utc, p.post_id))
+        return cls(posts=posts, labels=labels, kappa=kappa)

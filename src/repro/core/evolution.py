@@ -1,0 +1,135 @@
+"""Risk-evolution analytics over labelled user histories.
+
+The dataset's selling point is that it "retains complete user posting time
+sequence information, supporting modeling the dynamic evolution of suicide
+risk". This module quantifies that evolution: per-user escalation events,
+dwell times per level, and population-level transition statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import RSD15K
+from repro.core.schema import NUM_CLASSES, RiskLevel
+
+
+@dataclass(frozen=True)
+class EscalationEvent:
+    """One upward move in a user's labelled risk sequence."""
+
+    author: str
+    when: float  # POSIX timestamp of the escalated post
+    from_level: RiskLevel
+    to_level: RiskLevel
+    gap_hours: float  # time since the previous post
+
+    @property
+    def severity_jump(self) -> int:
+        return int(self.to_level) - int(self.from_level)
+
+
+@dataclass(frozen=True)
+class UserEvolution:
+    """Summary of one user's labelled trajectory."""
+
+    author: str
+    levels: tuple[RiskLevel, ...]
+    escalations: tuple[EscalationEvent, ...]
+    peak: RiskLevel
+    final: RiskLevel
+
+    @property
+    def ever_escalated(self) -> bool:
+        return bool(self.escalations)
+
+    @property
+    def monotonic_decline(self) -> bool:
+        """True if the user's risk never rose across their history."""
+        return all(
+            b <= a for a, b in zip(self.levels, self.levels[1:])
+        )
+
+
+def user_evolution(dataset: RSD15K, author: str) -> UserEvolution:
+    """Trajectory summary of one author."""
+    history = dataset.histories()[author]
+    levels = tuple(dataset.label_of(p) for p in history.posts)
+    events = []
+    for prev, post in zip(history.posts, history.posts[1:]):
+        from_level = dataset.label_of(prev)
+        to_level = dataset.label_of(post)
+        if to_level > from_level:
+            events.append(
+                EscalationEvent(
+                    author=author,
+                    when=post.timestamp,
+                    from_level=from_level,
+                    to_level=to_level,
+                    gap_hours=(post.timestamp - prev.timestamp) / 3600.0,
+                )
+            )
+    return UserEvolution(
+        author=author,
+        levels=levels,
+        escalations=tuple(events),
+        peak=max(levels),
+        final=levels[-1],
+    )
+
+
+def transition_counts(dataset: RSD15K) -> np.ndarray:
+    """(4, 4) matrix of consecutive label transitions across all users."""
+    counts = np.zeros((NUM_CLASSES, NUM_CLASSES), dtype=np.int64)
+    for history in dataset.histories().values():
+        labels = [int(dataset.label_of(p)) for p in history.posts]
+        for a, b in zip(labels, labels[1:]):
+            counts[a, b] += 1
+    return counts
+
+
+def empirical_transition_matrix(dataset: RSD15K) -> np.ndarray:
+    """Row-normalised transition probabilities (rows with no mass stay 0)."""
+    counts = transition_counts(dataset).astype(np.float64)
+    totals = counts.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        probs = np.where(totals > 0, counts / totals, 0.0)
+    return probs
+
+
+@dataclass(frozen=True)
+class EvolutionReport:
+    """Population-level evolution statistics."""
+
+    num_users: int
+    users_with_escalation: int
+    escalations_per_user: float
+    median_escalation_gap_hours: float
+    transition_matrix: np.ndarray
+
+    @property
+    def escalation_prevalence(self) -> float:
+        return self.users_with_escalation / max(1, self.num_users)
+
+
+def analyse(dataset: RSD15K) -> EvolutionReport:
+    """Population evolution report over the whole dataset."""
+    authors = sorted({p.author for p in dataset.posts})
+    escalated_users = 0
+    total_events = 0
+    gaps: list[float] = []
+    for author in authors:
+        evolution = user_evolution(dataset, author)
+        if evolution.ever_escalated:
+            escalated_users += 1
+            total_events += len(evolution.escalations)
+            gaps.extend(e.gap_hours for e in evolution.escalations)
+    return EvolutionReport(
+        num_users=len(authors),
+        users_with_escalation=escalated_users,
+        escalations_per_user=total_events / max(1, len(authors)),
+        median_escalation_gap_hours=float(np.median(gaps)) if gaps else 0.0,
+        transition_matrix=empirical_transition_matrix(dataset),
+    )

@@ -1,0 +1,68 @@
+"""Deterministic random-number management.
+
+All stochastic components of the library (corpus generation, annotator
+simulation, model initialisation, data shuffling) draw from
+:class:`numpy.random.Generator` instances derived from a single seed via
+named streams, so that fixing one integer makes the entire pipeline —
+including every experiment in the paper-reproduction harness —
+bit-reproducible while keeping the subsystems statistically independent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Seed used by the paper-reproduction experiments when none is given.
+DEFAULT_SEED = 15_000
+
+
+def derive_seed(seed: int, name: str) -> int:
+    """Derive a stable 64-bit sub-seed for a named stream.
+
+    The derivation hashes ``(seed, name)`` with SHA-256 so that streams for
+    different names are statistically independent and insensitive to the
+    order in which they are created.
+    """
+    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def stream(seed: int, name: str) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for the named stream."""
+    return np.random.default_rng(derive_seed(seed, name))
+
+
+class SeedSequenceRegistry:
+    """Hands out independent generators derived from one master seed.
+
+    Example
+    -------
+    >>> reg = SeedSequenceRegistry(seed=7)
+    >>> corpus_rng = reg.get("corpus")
+    >>> model_rng = reg.get("model-init")
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED) -> None:
+        self.seed = int(seed)
+        self._generators: dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        Repeated calls with the same name return the *same* generator
+        object, so consumption of randomness is shared within a stream.
+        """
+        if name not in self._generators:
+            self._generators[name] = stream(self.seed, name)
+        return self._generators[name]
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a brand-new generator for ``name`` (resets the stream)."""
+        self._generators[name] = stream(self.seed, name)
+        return self._generators[name]
+
+    def spawn(self, name: str) -> "SeedSequenceRegistry":
+        """Create a child registry whose master seed derives from ``name``."""
+        return SeedSequenceRegistry(derive_seed(self.seed, name) % (2**31))

@@ -1,0 +1,291 @@
+"""Synthetic RSD-15K corpus builder.
+
+Populates the simulated Reddit with a crawl-sized pool of submissions
+(annotated users + background users + off-topic noise + duplicates) and
+then replays the paper's collection step: crawl ``r/SuicideWatch`` over
+01/2020–12/2021 and select the annotated user slice.
+
+The output is deliberately *dirty* — duplicated posts, URLs, zero-width
+characters, hashtag spam, off-topic submissions — so the pre-processing
+stage (§II-A2) has real work to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import timedelta
+
+import numpy as np
+
+from repro.core.config import CorpusConfig
+from repro.core.rng import SeedSequenceRegistry
+from repro.core.schema import RiskLevel
+from repro.corpus.lexicon import SentenceSampler
+from repro.corpus.models import RedditPost, UserProfile, utc_from_timestamp
+from repro.corpus.reddit import RedditSimulator, crawl
+from repro.corpus.users import (
+    RiskTrajectory,
+    risk_transition_matrix,
+    sample_gaps_hours,
+    sample_post_hours,
+    sample_profiles,
+    sample_trajectory,
+)
+
+SUBREDDIT = "SuicideWatch"
+
+#: Fractions of injected dirt in the raw pool.
+DUPLICATE_RATE = 0.02
+NOISE_RATE = 0.12
+OFFTOPIC_RATE = 0.03
+
+
+@dataclass
+class SyntheticCorpus:
+    """Everything the generator produced, before pre-processing.
+
+    Attributes
+    ----------
+    reddit:
+        The populated simulator (kept so examples can re-crawl).
+    raw_posts:
+        Chronological crawl output (annotated users + background + dirt).
+    annotated_authors:
+        The authors whose posts form the annotated slice.
+    profiles:
+        Simulation profiles for the annotated authors.
+    config:
+        The configuration the corpus was generated under.
+    """
+
+    reddit: RedditSimulator
+    raw_posts: list[RedditPost]
+    annotated_authors: set[str]
+    profiles: dict[str, UserProfile] = field(default_factory=dict)
+    config: CorpusConfig = field(default_factory=CorpusConfig)
+
+    @property
+    def annotated_posts(self) -> list[RedditPost]:
+        """Raw posts belonging to annotated authors (still dirty)."""
+        return [p for p in self.raw_posts if p.author in self.annotated_authors]
+
+    @property
+    def background_posts(self) -> list[RedditPost]:
+        """Unannotated crawl pool (used for language-model pretraining)."""
+        return [
+            p for p in self.raw_posts if p.author not in self.annotated_authors
+        ]
+
+
+class CorpusGenerator:
+    """Builds a :class:`SyntheticCorpus` from a :class:`CorpusConfig`."""
+
+    def __init__(self, config: CorpusConfig | None = None) -> None:
+        self.config = config or CorpusConfig()
+        self._registry = SeedSequenceRegistry(self.config.seed)
+        self._kernel = risk_transition_matrix(self.config.label_mix)
+
+    # -- timeline ----------------------------------------------------------
+
+    def _place_timeline(
+        self,
+        rng: np.random.Generator,
+        profile: UserProfile,
+        trajectory: RiskTrajectory,
+        temporal_strength: float,
+    ) -> list[float]:
+        """POSIX timestamps for one user's posts inside the crawl window."""
+        cfg = self.config
+        gaps = sample_gaps_hours(rng, profile, trajectory, temporal_strength)
+        span_seconds = float(gaps.sum()) * 3600.0
+        window = (cfg.end - cfg.start).total_seconds()
+        if span_seconds >= window * 0.95:
+            gaps = gaps * (window * 0.95 / max(span_seconds, 1.0) / 3600.0) * 3600.0
+            span_seconds = float(gaps.sum()) * 3600.0
+        slack = max(0.0, window - span_seconds)
+        start_ts = cfg.start.timestamp() + rng.random() * slack
+        offsets = np.concatenate([[0.0], np.cumsum(gaps) * 3600.0])
+        hours = sample_post_hours(rng, profile, len(offsets))
+        timestamps = []
+        for off, hour in zip(offsets, hours):
+            ts = start_ts + off
+            day = utc_from_timestamp(ts).replace(
+                hour=0, minute=0, second=0, microsecond=0
+            )
+            placed = day + timedelta(hours=float(hour), minutes=float(rng.integers(60)))
+            timestamps.append(
+                min(cfg.end.timestamp(), max(cfg.start.timestamp(), placed.timestamp()))
+            )
+        timestamps.sort()
+        # Enforce strictly increasing times so ordering is unambiguous.
+        for i in range(1, len(timestamps)):
+            if timestamps[i] <= timestamps[i - 1]:
+                timestamps[i] = timestamps[i - 1] + 60.0
+        return timestamps
+
+    # -- posts -------------------------------------------------------------
+
+    def _emit_user_posts(
+        self,
+        reddit: RedditSimulator,
+        rng: np.random.Generator,
+        sampler: SentenceSampler,
+        profile: UserProfile,
+    ) -> None:
+        trajectory = sample_trajectory(rng, profile, self._kernel)
+        timestamps = self._place_timeline(
+            rng, profile, trajectory, self.config.temporal_strength
+        )
+        for level, ts in zip(trajectory.levels, timestamps):
+            n_sentences = int(rng.integers(2, 7))
+            body = sampler.body(level, n_sentences)
+            title = sampler.title(level)
+            reddit.submit(
+                RedditPost(
+                    post_id=reddit.next_post_id(),
+                    author=profile.author,
+                    subreddit=SUBREDDIT,
+                    title=title,
+                    body=body,
+                    created_utc=utc_from_timestamp(ts),
+                    oracle_label=level,
+                )
+            )
+
+    def _emit_dirt(
+        self,
+        reddit: RedditSimulator,
+        rng: np.random.Generator,
+        sampler: SentenceSampler,
+        clean_posts: list[RedditPost],
+    ) -> None:
+        """Inject duplicates, noise-polluted copies, and off-topic posts."""
+        n = len(clean_posts)
+        # Exact duplicates (same author, text reposted minutes later).
+        for post in rng.choice(n, size=int(n * DUPLICATE_RATE), replace=False):
+            src = clean_posts[int(post)]
+            reddit.submit(
+                RedditPost(
+                    post_id=reddit.next_post_id(),
+                    author=src.author,
+                    subreddit=SUBREDDIT,
+                    title=src.title,
+                    body=src.body,
+                    created_utc=src.created_utc + timedelta(minutes=7),
+                    oracle_label=src.oracle_label,
+                )
+            )
+        # Off-topic submissions from background accounts.
+        num_offtopic = int(n * OFFTOPIC_RATE)
+        window = (self.config.end - self.config.start).total_seconds()
+        for i in range(num_offtopic):
+            ts = self.config.start.timestamp() + rng.random() * window
+            reddit.submit(
+                RedditPost(
+                    post_id=reddit.next_post_id(),
+                    author=f"offtopic_{i:05d}",
+                    subreddit=SUBREDDIT,
+                    title="[OT] " + sampler.offtopic(),
+                    body=sampler.offtopic(),
+                    created_utc=utc_from_timestamp(ts),
+                    oracle_label=None,
+                )
+            )
+
+    def _pollute_bodies(
+        self, rng: np.random.Generator, sampler: SentenceSampler, reddit: RedditSimulator
+    ) -> None:
+        """Append noise fragments to a fraction of submissions in place."""
+        sub = reddit.subreddit(SUBREDDIT)
+        for i, post in enumerate(sub.posts):
+            if rng.random() < NOISE_RATE:
+                sub.posts[i] = post.with_body(post.body + sampler.noise())
+
+    # -- public API ---------------------------------------------------------
+
+    def generate(self) -> SyntheticCorpus:
+        """Build the populated simulator and replay the paper's crawl."""
+        cfg = self.config
+        reddit = RedditSimulator()
+        reddit.create_subreddit(SUBREDDIT)
+
+        profile_rng = self._registry.get("profiles")
+        annotated = sample_profiles(
+            profile_rng,
+            cfg.num_users,
+            cfg.target_posts,
+            cfg.label_mix,
+            cfg.temporal_strength,
+        )
+        # Background (unannotated) pool — same generative process, separate
+        # author namespace, sized to the remaining crawl volume.
+        bg_posts = max(0, cfg.raw_pool_posts - cfg.target_posts)
+        bg_users = max(1, cfg.raw_pool_users - cfg.num_users)
+        bg_users = min(bg_users, max(1, bg_posts))  # at least 1 post each
+        background = sample_profiles(
+            self._registry.get("background-profiles"),
+            bg_users,
+            max(bg_users, bg_posts),
+            cfg.label_mix,
+            cfg.temporal_strength,
+        )
+        background = [
+            UserProfile(
+                author=f"bg_{p.author}",
+                base_level=p.base_level,
+                num_posts=p.num_posts,
+                night_owl=p.night_owl,
+                mean_gap_hours=p.mean_gap_hours,
+            )
+            for p in background
+        ]
+
+        text_rng = self._registry.get("text")
+        sampler = SentenceSampler(
+            text_rng,
+            cfg.lexical_strength,
+            hard_fraction=cfg.hard_fraction,
+            ambiguity_noise=cfg.ambiguity_noise,
+        )
+        emit_rng = self._registry.get("emission")
+        for profile in annotated + background:
+            self._emit_user_posts(reddit, emit_rng, sampler, profile)
+
+        clean = list(reddit.subreddit(SUBREDDIT).posts)
+        dirt_rng = self._registry.get("dirt")
+        self._emit_dirt(reddit, dirt_rng, sampler, clean)
+        self._pollute_bodies(dirt_rng, sampler, reddit)
+
+        raw = crawl(reddit, SUBREDDIT, cfg.start, cfg.end)
+        return SyntheticCorpus(
+            reddit=reddit,
+            raw_posts=raw,
+            annotated_authors={p.author for p in annotated},
+            profiles={p.author: p for p in annotated},
+            config=cfg,
+        )
+
+
+def generate_corpus(
+    scale: float = 1.0, seed: int | None = None, **overrides
+) -> SyntheticCorpus:
+    """Convenience one-call corpus builder.
+
+    Parameters
+    ----------
+    scale:
+        Fraction of the paper-sized corpus to generate (1.0 = 14,613
+        annotated posts).
+    seed:
+        Master seed; defaults to the library default.
+    overrides:
+        Any :class:`CorpusConfig` field, e.g. ``lexical_strength=0.5``.
+    """
+    cfg = CorpusConfig(**overrides) if overrides else CorpusConfig()
+    if seed is not None:
+        import dataclasses
+
+        cfg = dataclasses.replace(cfg, seed=seed)
+    if scale != 1.0:
+        cfg = cfg.scaled(scale)
+    return CorpusGenerator(cfg).generate()

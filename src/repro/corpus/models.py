@@ -1,0 +1,99 @@
+"""Record types shared across the corpus substrate and the pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from datetime import datetime, timezone
+
+from repro.core.schema import RiskLevel
+
+
+@dataclass(frozen=True)
+class RedditPost:
+    """One submission as returned by the (simulated) Reddit listing API.
+
+    Attributes
+    ----------
+    post_id:
+        Base-36 style submission id, unique within a simulator instance.
+    author:
+        Opaque author handle. The privacy module replaces this with a
+        salted hash before the data leaves the pipeline.
+    subreddit:
+        Community the post was submitted to (e.g. ``"SuicideWatch"``).
+    title / body:
+        Submission title and self-text.
+    created_utc:
+        Timezone-aware creation timestamp.
+    oracle_label:
+        Simulation-only ground truth used by the annotator simulator and
+        by evaluation. ``None`` for posts outside the risk domain. Real
+        crawled data would not carry this field — nothing in the
+        *modelling* pipeline reads it except through the annotation
+        campaign.
+    """
+
+    post_id: str
+    author: str
+    subreddit: str
+    title: str
+    body: str
+    created_utc: datetime
+    oracle_label: RiskLevel | None = None
+
+    @property
+    def text(self) -> str:
+        """Title and body joined the way the annotation UI shows them."""
+        if self.title and self.body:
+            return f"{self.title}\n{self.body}"
+        return self.title or self.body
+
+    @property
+    def timestamp(self) -> float:
+        """POSIX timestamp (seconds)."""
+        return self.created_utc.timestamp()
+
+    def with_body(self, body: str) -> "RedditPost":
+        """Copy of this post with a replaced body (used by cleaning)."""
+        return replace(self, body=body)
+
+    def with_author(self, author: str) -> "RedditPost":
+        """Copy of this post with a replaced author (used by anonymiser)."""
+        return replace(self, author=author)
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Simulation profile of one author in the synthetic corpus."""
+
+    author: str
+    base_level: RiskLevel
+    num_posts: int
+    night_owl: float
+    mean_gap_hours: float
+
+
+@dataclass
+class UserHistory:
+    """All posts of one author, kept in chronological order."""
+
+    author: str
+    posts: list[RedditPost] = field(default_factory=list)
+
+    def add(self, post: RedditPost) -> None:
+        self.posts.append(post)
+        self.posts.sort(key=lambda p: p.created_utc)
+
+    @property
+    def latest(self) -> RedditPost:
+        if not self.posts:
+            raise ValueError(f"user {self.author} has no posts")
+        return self.posts[-1]
+
+    def __len__(self) -> int:
+        return len(self.posts)
+
+
+def utc_from_timestamp(ts: float) -> datetime:
+    """Timezone-aware datetime from a POSIX timestamp."""
+    return datetime.fromtimestamp(ts, tz=timezone.utc)

@@ -1,0 +1,158 @@
+"""Probability-calibration diagnostics.
+
+For a risk triage system, *calibrated* confidence matters as much as
+accuracy: an 80%-confident Attempt prediction should be right ~80% of the
+time. This module provides expected calibration error (ECE), maximum
+calibration error (MCE), reliability-diagram data, and Brier scores for
+the probabilistic baselines (XGBoost, LogReg).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One confidence bucket of a reliability diagram."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_confidence: float
+    empirical_accuracy: float
+
+    @property
+    def gap(self) -> float:
+        return abs(self.mean_confidence - self.empirical_accuracy)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Aggregate calibration diagnostics."""
+
+    ece: float
+    mce: float
+    brier: float
+    bins: tuple[ReliabilityBin, ...]
+
+
+def _validate(probs: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    probs = np.asarray(probs, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if probs.ndim != 2:
+        raise ValueError("probs must be (n, classes)")
+    if len(probs) != len(targets):
+        raise ValueError("probs and targets disagree on length")
+    if len(probs) == 0:
+        raise ValueError("empty inputs")
+    if not np.allclose(probs.sum(axis=1), 1.0, atol=1e-6):
+        raise ValueError("probability rows must sum to 1")
+    return probs, targets
+
+
+def reliability_bins(
+    probs: np.ndarray, targets: np.ndarray, num_bins: int = 10
+) -> list[ReliabilityBin]:
+    """Top-label reliability diagram over equal-width confidence bins."""
+    probs, targets = _validate(probs, targets)
+    confidence = probs.max(axis=1)
+    predicted = probs.argmax(axis=1)
+    correct = (predicted == targets).astype(np.float64)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bins = []
+    for lower, upper in zip(edges, edges[1:]):
+        mask = (confidence > lower) & (confidence <= upper)
+        if lower == 0.0:
+            mask |= confidence == 0.0
+        count = int(mask.sum())
+        bins.append(
+            ReliabilityBin(
+                lower=float(lower),
+                upper=float(upper),
+                count=count,
+                mean_confidence=float(confidence[mask].mean()) if count else 0.0,
+                empirical_accuracy=float(correct[mask].mean()) if count else 0.0,
+            )
+        )
+    return bins
+
+
+def expected_calibration_error(
+    probs: np.ndarray, targets: np.ndarray, num_bins: int = 10
+) -> float:
+    """ECE: bin-count-weighted mean |confidence − accuracy|."""
+    bins = reliability_bins(probs, targets, num_bins)
+    total = sum(b.count for b in bins)
+    if total == 0:
+        return 0.0
+    return float(sum(b.count * b.gap for b in bins) / total)
+
+
+def maximum_calibration_error(
+    probs: np.ndarray, targets: np.ndarray, num_bins: int = 10
+) -> float:
+    """MCE: worst bin gap (over non-empty bins)."""
+    bins = [b for b in reliability_bins(probs, targets, num_bins) if b.count]
+    return max((b.gap for b in bins), default=0.0)
+
+
+def brier_score(probs: np.ndarray, targets: np.ndarray) -> float:
+    """Multiclass Brier score (mean squared distance to the one-hot)."""
+    probs, targets = _validate(probs, targets)
+    onehot = np.eye(probs.shape[1])[targets]
+    return float(((probs - onehot) ** 2).sum(axis=1).mean())
+
+
+def calibration_report(
+    probs: np.ndarray, targets: np.ndarray, num_bins: int = 10
+) -> CalibrationReport:
+    """All diagnostics in one pass."""
+    bins = tuple(reliability_bins(probs, targets, num_bins))
+    total = sum(b.count for b in bins)
+    ece = float(sum(b.count * b.gap for b in bins) / total) if total else 0.0
+    mce = max((b.gap for b in bins if b.count), default=0.0)
+    return CalibrationReport(
+        ece=ece, mce=mce, brier=brier_score(probs, targets), bins=bins
+    )
+
+
+def temperature_scale(
+    logits_or_probs: np.ndarray,
+    targets: np.ndarray,
+    temperatures: np.ndarray | None = None,
+) -> float:
+    """Grid-search the temperature that minimises NLL on held-out data.
+
+    Accepts probabilities (converted to log-space) for models that only
+    expose ``predict_proba``.
+    """
+    probs, targets = _validate(logits_or_probs, targets)
+    log_probs = np.log(np.maximum(probs, 1e-12))
+    if temperatures is None:
+        temperatures = np.concatenate(
+            [np.linspace(0.25, 1.0, 16), np.linspace(1.0, 4.0, 25)]
+        )
+    best_t, best_nll = 1.0, np.inf
+    n = np.arange(len(targets))
+    for t in temperatures:
+        scaled = log_probs / t
+        scaled -= scaled.max(axis=1, keepdims=True)
+        norm = np.log(np.exp(scaled).sum(axis=1))
+        nll = float(-(scaled[n, targets] - norm).mean())
+        if nll < best_nll:
+            best_nll, best_t = nll, float(t)
+    return best_t
+
+
+def apply_temperature(probs: np.ndarray, temperature: float) -> np.ndarray:
+    """Re-normalise probabilities at the given temperature."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    log_probs = np.log(np.maximum(np.asarray(probs, dtype=np.float64), 1e-12))
+    scaled = log_probs / temperature
+    scaled -= scaled.max(axis=1, keepdims=True)
+    exp = np.exp(scaled)
+    return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,123 @@
+"""Lightweight explanations for the feature-based baselines.
+
+For a clinical-triage deployment the paper envisions (§I, §V), an
+assessment needs to be inspectable. This module provides:
+
+* global explanations — gain importances grouped by feature / dimension
+  (wrapping the XGBoost baseline's importance API);
+* class profiles — which framework features run high for each risk level
+  (class-conditional z-scores over a reference window set);
+* local explanations — for one window, the features that deviate most
+  from the reference distribution, weighted by global importance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import NotFittedError
+from repro.core.schema import ALL_LEVELS, RiskLevel
+from repro.models.xgboost_baseline import XGBoostBaseline
+from repro.temporal.windows import PostWindow
+
+
+@dataclass(frozen=True)
+class FeatureContribution:
+    """One feature's role in a local explanation."""
+
+    feature: str
+    value: float
+    z_score: float
+    importance: float
+
+    @property
+    def weight(self) -> float:
+        """Salience: |z| × global importance."""
+        return abs(self.z_score) * self.importance
+
+
+class RiskExplainer:
+    """Explains a fitted :class:`XGBoostBaseline` (or LogisticBaseline).
+
+    Parameters
+    ----------
+    model:
+        A *fitted* baseline exposing ``framework`` and (for global
+        importances) ``booster.feature_importances_``.
+    reference:
+        Windows defining the "normal" feature distribution (typically the
+        training set).
+    """
+
+    def __init__(self, model: XGBoostBaseline, reference: list[PostWindow]):
+        if getattr(model, "booster", None) is None and not hasattr(
+            model, "classifier"
+        ):
+            raise NotFittedError("explainer requires a fitted model")
+        self.model = model
+        self.feature_names = model.framework.feature_names
+        matrix = model.framework.transform(reference)
+        self._mu = matrix.mean(axis=0)
+        self._sigma = matrix.std(axis=0)
+        self._sigma[self._sigma == 0] = 1.0
+        self._reference_labels = np.array([int(w.label) for w in reference])
+        self._reference_matrix = matrix
+        if hasattr(model, "booster") and model.booster is not None:
+            self._importances = model.booster.feature_importances_
+        else:  # linear model: |weight| mass per feature
+            weights = model.classifier.weights[:-1]
+            mass = np.abs(weights).sum(axis=1)
+            self._importances = mass / max(mass.sum(), 1e-12)
+
+    # -- global --------------------------------------------------------------
+
+    def global_importances(self, k: int = 15) -> list[tuple[str, float]]:
+        order = np.argsort(self._importances)[::-1][:k]
+        return [(self.feature_names[i], float(self._importances[i])) for i in order]
+
+    def class_profile(
+        self, level: RiskLevel, k: int = 10
+    ) -> list[tuple[str, float]]:
+        """Features most elevated for ``level`` vs the other classes."""
+        mask = self._reference_labels == int(level)
+        if not mask.any() or mask.all():
+            return []
+        inside = self._reference_matrix[mask].mean(axis=0)
+        outside = self._reference_matrix[~mask].mean(axis=0)
+        z = (inside - outside) / self._sigma
+        order = np.argsort(z)[::-1][:k]
+        return [(self.feature_names[i], float(z[i])) for i in order]
+
+    def class_profiles(self, k: int = 10) -> dict[RiskLevel, list[tuple[str, float]]]:
+        return {level: self.class_profile(level, k) for level in ALL_LEVELS}
+
+    # -- local --------------------------------------------------------------------
+
+    def explain(self, window: PostWindow, k: int = 8) -> list[FeatureContribution]:
+        """Top-k salient features of one window's assessment."""
+        row = self.model.framework.transform([window])[0]
+        z = (row - self._mu) / self._sigma
+        contributions = [
+            FeatureContribution(
+                feature=self.feature_names[i],
+                value=float(row[i]),
+                z_score=float(z[i]),
+                importance=float(self._importances[i]),
+            )
+            for i in range(len(row))
+        ]
+        contributions.sort(key=lambda c: -c.weight)
+        return contributions[:k]
+
+    def render(self, window: PostWindow, k: int = 8) -> str:
+        """Human-readable local explanation."""
+        lines = [f"assessment rationale for user '{window.author}':"]
+        for c in self.explain(window, k):
+            direction = "high" if c.z_score > 0 else "low"
+            lines.append(
+                f"  {c.feature:<28} {direction:>4} "
+                f"(z={c.z_score:+.2f}, importance={c.importance:.3f})"
+            )
+        return "\n".join(lines)

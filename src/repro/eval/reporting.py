@@ -1,0 +1,57 @@
+"""Result export: markdown, CSV, and JSON renderings of eval reports."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Sequence
+
+from repro.eval.metrics import EvalReport
+
+_COLUMNS = (
+    "Model", "Acc_pct", "MacroF1_pct",
+    "IN_F1_pct", "ID_F1_pct", "BR_F1_pct", "AT_F1_pct",
+)
+
+
+def to_markdown(reports: Sequence[EvalReport]) -> str:
+    """GitHub-flavoured markdown table in the paper's column order."""
+    header = "| " + " | ".join(_COLUMNS) + " |"
+    rule = "|" + "|".join("---" for _ in _COLUMNS) + "|"
+    lines = [header, rule]
+    for report in reports:
+        row = report.as_row()
+        cells = [
+            str(row[c]) if c == "Model" else f"{row[c]:.1f}" for c in _COLUMNS
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def to_csv(reports: Sequence[EvalReport]) -> str:
+    """CSV with one row per model."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_COLUMNS)
+    writer.writeheader()
+    for report in reports:
+        row = report.as_row()
+        writer.writerow({c: row[c] for c in _COLUMNS})
+    return buffer.getvalue()
+
+
+def to_json(reports: Sequence[EvalReport]) -> str:
+    """JSON including the confusion matrix and per-class support."""
+    payload = []
+    for report in reports:
+        payload.append(
+            {
+                "model": report.model,
+                "accuracy": report.accuracy,
+                "macro_f1": report.macro_f1,
+                "class_f1": {lv.short: f1 for lv, f1 in report.class_f1.items()},
+                "support": {lv.short: n for lv, n in report.support.items()},
+                "confusion": report.confusion.tolist(),
+            }
+        )
+    return json.dumps(payload, indent=2)

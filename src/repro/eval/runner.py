@@ -1,0 +1,95 @@
+"""Multi-run experiment runner.
+
+The paper notes "all models performed stably across multiple experimental
+runs". This runner repeats train/eval with different seeds and reports
+mean ± std per metric, which is also what the stability experiment in the
+benchmark harness consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ExperimentError
+from repro.eval.metrics import EvalReport
+from repro.eval.splits import WindowSplits
+from repro.models.registry import create_model
+from repro.temporal.windows import PostWindow
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean ± std of one metric over repeated runs."""
+
+    name: str
+    mean: float
+    std: float
+    values: tuple[float, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.mean:.3f} ± {self.std:.3f}"
+
+
+@dataclass
+class MultiRunResult:
+    """All reports of a repeated experiment plus aggregates."""
+
+    model: str
+    reports: list[EvalReport] = field(default_factory=list)
+
+    def summary(self, metric: str = "accuracy") -> MetricSummary:
+        values = tuple(getattr(r, metric) for r in self.reports)
+        if not values:
+            raise ExperimentError("no runs recorded")
+        return MetricSummary(
+            name=metric,
+            mean=float(np.mean(values)),
+            std=float(np.std(values)),
+            values=values,
+        )
+
+    @property
+    def stable(self) -> bool:
+        """Std of accuracy below 10 percentage points across runs."""
+        return self.summary("accuracy").std < 0.10
+
+
+def run_repeated(
+    model_name: str,
+    splits: WindowSplits,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    **model_kwargs,
+) -> MultiRunResult:
+    """Train/evaluate ``model_name`` once per seed on fixed splits.
+
+    The splits stay fixed (the paper's protocol re-runs training, not
+    resampling); only initialisation/shuffling seeds vary.
+    """
+    if not seeds:
+        raise ExperimentError("at least one seed required")
+    result = MultiRunResult(model=model_name)
+    y_test = np.array([int(w.label) for w in splits.test])
+    for seed in seeds:
+        model = create_model(model_name, seed=seed, **model_kwargs)
+        model.fit(splits.train, splits.validation)
+        predictions = model.predict(splits.test)
+        result.reports.append(
+            EvalReport.compute(model.name, y_test, predictions)
+        )
+    return result
+
+
+def evaluate_model(
+    model_name: str,
+    train: list[PostWindow],
+    validation: list[PostWindow],
+    test: list[PostWindow],
+    **model_kwargs,
+) -> EvalReport:
+    """One-shot convenience train/eval."""
+    model = create_model(model_name, **model_kwargs)
+    model.fit(train, validation)
+    y_test = np.array([int(w.label) for w in test])
+    return EvalReport.compute(model.name, y_test, model.predict(test))

@@ -1,0 +1,204 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+1. **Feature dimensions** (§III-A1): retrain XGBoost with each feature
+   dimension alone (time / sequence / text) and all together.
+2. **PLM pretraining**: RoBERTa fine-tuned with vs without the MLM pass.
+3. **Window size** (§III): the "stable 5-element window" vs smaller.
+4. **Voting**: label noise of 3-way-voted joint labels vs solo labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import WindowConfig
+from repro.core.rng import DEFAULT_SEED
+from repro.eval.metrics import EvalReport, accuracy, macro_f1
+from repro.experiments.common import BENCH_SCALE, cached_build, format_table
+from repro.models.neural_common import TrainerConfig
+from repro.models.roberta import RobertaRiskModel
+from repro.models.xgboost_baseline import XGBoostBaseline
+from repro.temporal.windows import PostWindow
+
+
+@dataclass
+class AblationRow:
+    name: str
+    accuracy_pct: float
+    macro_f1_pct: float
+
+
+def _evaluate(model, train, val, test) -> AblationRow:
+    model.fit(train, val)
+    y = np.array([int(w.label) for w in test])
+    pred = model.predict(test)
+    return AblationRow(
+        name=model.name,
+        accuracy_pct=100 * accuracy(y, pred),
+        macro_f1_pct=100 * macro_f1(y, pred),
+    )
+
+
+class _DimensionOnlyXGBoost(XGBoostBaseline):
+    """XGBoost restricted to one feature dimension's columns."""
+
+    def __init__(self, dimension: str, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.dimension = dimension
+        self.name = f"XGBoost[{dimension}]"
+
+    def _columns(self) -> slice:
+        return self.framework.dimension_slices()[self.dimension]
+
+    def _fit(self, train, validation):
+        x_train = self.framework.fit_transform(train)[:, self._columns()]
+        from repro.boosting import GradientBoostingClassifier
+        from repro.models.base import window_labels
+
+        eval_set = None
+        if validation:
+            eval_set = (
+                self.framework.transform(validation)[:, self._columns()],
+                window_labels(validation),
+            )
+        self.booster = GradientBoostingClassifier(self.params)
+        self.booster.fit(x_train, window_labels(train), eval_set=eval_set)
+
+    def _predict(self, windows):
+        return self.booster.predict(
+            self.framework.transform(windows)[:, self._columns()]
+        )
+
+
+def feature_dimension_ablation(
+    scale: float = BENCH_SCALE, seed: int = DEFAULT_SEED
+) -> list[AblationRow]:
+    """XGBoost with all features vs each dimension alone."""
+    splits = cached_build(scale, seed).dataset.splits()
+    rows = [
+        _evaluate(XGBoostBaseline(), splits.train, splits.validation, splits.test)
+    ]
+    for dim in ("time", "sequence", "text"):
+        rows.append(
+            _evaluate(
+                _DimensionOnlyXGBoost(dim),
+                splits.train,
+                splits.validation,
+                splits.test,
+            )
+        )
+    return rows
+
+
+def pretraining_ablation(
+    scale: float = BENCH_SCALE,
+    seed: int = DEFAULT_SEED,
+    pretrain_steps: int = 400,
+) -> list[AblationRow]:
+    """RoBERTa with vs without MLM domain pretraining."""
+    build = cached_build(scale, seed)
+    splits = build.dataset.splits()
+    pretrain = build.dataset.pretrain_texts[:6000]
+    rows = []
+    for steps, tag in ((pretrain_steps, "MLM"), (0, "no-MLM")):
+        model = RobertaRiskModel(
+            pretrain_texts=pretrain, pretrain_steps=steps, seed=seed
+        )
+        model.name = f"RoBERTa[{tag}]"
+        rows.append(
+            _evaluate(model, splits.train, splits.validation, splits.test)
+        )
+    return rows
+
+
+def window_size_ablation(
+    scale: float = BENCH_SCALE,
+    seed: int = DEFAULT_SEED,
+    sizes: tuple[int, ...] = (1, 3, 5),
+) -> list[AblationRow]:
+    """The stable 5-element window vs truncated histories (XGBoost)."""
+    dataset = cached_build(scale, seed).dataset
+    rows = []
+    for size in sizes:
+        splits = dataset.splits(window_config=WindowConfig(size=size))
+        model = XGBoostBaseline()
+        model.name = f"XGBoost[w={size}]"
+        rows.append(
+            _evaluate(model, splits.train, splits.validation, splits.test)
+        )
+    return rows
+
+
+def voting_ablation(
+    scale: float = BENCH_SCALE, seed: int = DEFAULT_SEED
+) -> dict[str, float]:
+    """Label-noise rate of voted / expert-reviewed labels vs solo labels."""
+    campaign = cached_build(scale, seed).campaign
+    solo_wrong = solo_total = voted_wrong = voted_total = 0
+    for task in campaign.project.completed:
+        true = task.post.oracle_label
+        if task.resolution == "single":
+            solo_total += 1
+            solo_wrong += int(task.final_label != true)
+        elif task.resolution in ("vote", "review", "joint-decision"):
+            voted_total += 1
+            voted_wrong += int(task.final_label != true)
+    return {
+        "solo_noise": solo_wrong / max(1, solo_total),
+        "voted_noise": voted_wrong / max(1, voted_total),
+        "solo_total": float(solo_total),
+        "voted_total": float(voted_total),
+    }
+
+
+def embedding_init_ablation(
+    scale: float = BENCH_SCALE, seed: int = DEFAULT_SEED
+) -> list[AblationRow]:
+    """BiLSTM with random vs SGNS-pretrained word embeddings."""
+    from repro.models.bilstm import TimeAwareBiLSTM
+    from repro.text.embeddings import SGNSConfig, train_embeddings
+
+    build = cached_build(scale, seed)
+    splits = build.dataset.splits()
+    rows = []
+    embeddings = train_embeddings(
+        build.dataset.pretrain_texts[:3000],
+        config=SGNSConfig(dim=64, epochs=1, seed=seed),
+    )
+    for pretrained, tag in ((embeddings, "SGNS-init"), (None, "random-init")):
+        model = TimeAwareBiLSTM(pretrained_embeddings=pretrained, seed=seed)
+        model.name = f"BiLSTM[{tag}]"
+        rows.append(
+            _evaluate(model, splits.train, splits.validation, splits.test)
+        )
+    return rows
+
+
+def render(rows: list[AblationRow]) -> str:
+    return format_table(
+        ["configuration", "Acc%", "MacroF1%"],
+        [[r.name, r.accuracy_pct, r.macro_f1_pct] for r in rows],
+    )
+
+
+def main() -> None:
+    print("Ablation: feature dimensions (XGBoost)")
+    print(render(feature_dimension_ablation()))
+    print()
+    print("Ablation: window size")
+    print(render(window_size_ablation()))
+    print()
+    print("Ablation: voting vs solo label noise")
+    print(voting_ablation())
+    print()
+    print("Ablation: MLM pretraining (RoBERTa)")
+    print(render(pretraining_ablation()))
+    print()
+    print("Ablation: embedding initialisation (BiLSTM)")
+    print(render(embedding_init_ablation()))
+
+
+if __name__ == "__main__":
+    main()

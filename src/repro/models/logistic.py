@@ -1,0 +1,135 @@
+"""Multinomial logistic regression baseline (extension).
+
+Not one of the paper's five baselines, but the standard linear reference
+point for text classification; it rides on the same multi-level feature
+framework as the XGBoost baseline and is registered as ``"logreg"``.
+Implemented from scratch: softmax regression with L2 regularisation,
+full-batch gradient descent with line-searched step and early stopping on
+validation loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schema import NUM_CLASSES
+from repro.models.base import RiskModel, window_labels
+from repro.models.features import FeatureFramework
+from repro.temporal.windows import PostWindow
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    shifted = z - z.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class MultinomialLogisticRegression:
+    """Softmax regression on dense features.
+
+    Parameters
+    ----------
+    l2:
+        Ridge penalty on weights (not the bias).
+    lr / max_iter / tol:
+        Gradient-descent controls; training stops when the loss improves
+        by less than ``tol`` or ``max_iter`` is reached.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = NUM_CLASSES,
+        l2: float = 1e-3,
+        lr: float = 0.5,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+    ) -> None:
+        self.num_classes = num_classes
+        self.l2 = l2
+        self.lr = lr
+        self.max_iter = max_iter
+        self.tol = tol
+        self.weights: np.ndarray | None = None  # (F+1, C) incl. bias row
+        self.loss_history: list[float] = []
+
+    def _design(self, features: np.ndarray) -> np.ndarray:
+        return np.hstack([features, np.ones((len(features), 1))])
+
+    def _loss_grad(self, x, onehot):
+        logits = x @ self.weights
+        probs = _softmax(logits)
+        n = len(x)
+        data_loss = -np.log(
+            np.maximum((probs * onehot).sum(axis=1), 1e-12)
+        ).mean()
+        reg = 0.5 * self.l2 * float((self.weights[:-1] ** 2).sum())
+        grad = x.T @ (probs - onehot) / n
+        grad[:-1] += self.l2 * self.weights[:-1]
+        return data_loss + reg, grad
+
+    def fit(self, features: np.ndarray, targets: np.ndarray):
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.int64)
+        # Standardise columns for conditioning; remember the transform.
+        self._mu = features.mean(axis=0)
+        self._sigma = features.std(axis=0)
+        self._sigma[self._sigma == 0] = 1.0
+        x = self._design((features - self._mu) / self._sigma)
+        onehot = np.eye(self.num_classes)[targets]
+        self.weights = np.zeros((x.shape[1], self.num_classes))
+        self.loss_history = []
+        lr = self.lr
+        previous = np.inf
+        for _ in range(self.max_iter):
+            loss, grad = self._loss_grad(x, onehot)
+            self.loss_history.append(loss)
+            if previous - loss < self.tol:
+                break
+            # Backtracking: halve the step while it would overshoot.
+            while lr > 1e-4:
+                candidate = self.weights - lr * grad
+                saved = self.weights
+                self.weights = candidate
+                new_loss, _ = self._loss_grad(x, onehot)
+                if new_loss <= loss:
+                    break
+                self.weights = saved
+                lr *= 0.5
+            previous = loss
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("predict before fit")
+        features = np.asarray(features, dtype=np.float64)
+        x = self._design((features - self._mu) / self._sigma)
+        return _softmax(x @ self.weights)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)
+
+
+class LogisticBaseline(RiskModel):
+    """Linear reference model over the multi-level feature framework."""
+
+    name = "LogReg"
+
+    def __init__(
+        self,
+        l2: float = 1e-3,
+        max_tfidf_features: int = 300,
+        seed: int = 0,  # accepted for registry symmetry; model is convex
+    ) -> None:
+        super().__init__()
+        self.framework = FeatureFramework(max_tfidf_features=max_tfidf_features)
+        self.classifier = MultinomialLogisticRegression(l2=l2)
+
+    def _fit(self, train: list[PostWindow], validation: list[PostWindow]) -> None:
+        x = self.framework.fit_transform(train)
+        self.classifier.fit(x, window_labels(train))
+
+    def _predict(self, windows: list[PostWindow]) -> np.ndarray:
+        return self.classifier.predict(self.framework.transform(windows))
+
+    def predict_proba(self, windows: list[PostWindow]) -> np.ndarray:
+        return self.classifier.predict_proba(self.framework.transform(windows))

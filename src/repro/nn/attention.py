@@ -1,0 +1,204 @@
+"""Attention mechanisms: standard multi-head and DeBERTa-style
+disentangled attention with relative position encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ShapeError
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+NEG_INF = -1e9
+
+
+def split_heads(x: Tensor, num_heads: int) -> Tensor:
+    """(B, T, D) → (B, h, T, D/h)."""
+    batch, steps, dim = x.shape
+    if dim % num_heads:
+        raise ShapeError(f"model dim {dim} not divisible by {num_heads} heads")
+    return x.reshape(batch, steps, num_heads, dim // num_heads).transpose(0, 2, 1, 3)
+
+
+def merge_heads(x: Tensor) -> Tensor:
+    """(B, h, T, dh) → (B, T, D)."""
+    batch, heads, steps, dh = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(batch, steps, heads * dh)
+
+
+def attention_mask_bias(mask: np.ndarray) -> np.ndarray:
+    """(B, T) keep-mask → (B, 1, 1, T) boolean *pad* mask for masked_fill."""
+    mask = np.asarray(mask)
+    return (mask == 0)[:, None, None, :]
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention with ``num_heads`` heads.
+
+    Supports self-attention (`query is key is value`) and cross-attention
+    (the temporal-fusion layers of the RoBERTa/BiLSTM baselines attend
+    from text representations to temporal features).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise ShapeError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.w_q = Linear(dim, dim, rng)
+        self.w_k = Linear(dim, dim, rng)
+        self.w_v = Linear(dim, dim, rng)
+        self.w_o = Linear(dim, dim, rng)
+        self.dropout = Dropout(dropout, rng)
+        self._scale = 1.0 / np.sqrt(dim // num_heads)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor | None = None,
+        value: Tensor | None = None,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        key = query if key is None else key
+        value = key if value is None else value
+        q = split_heads(self.w_q(query), self.num_heads)
+        k = split_heads(self.w_k(key), self.num_heads)
+        v = split_heads(self.w_v(value), self.num_heads)
+        scores = (q @ k.swapaxes(-1, -2)) * self._scale
+        if mask is not None:
+            scores = scores.masked_fill(attention_mask_bias(mask), NEG_INF)
+        weights = self.dropout(scores.softmax(axis=-1))
+        context = weights @ v
+        return self.w_o(merge_heads(context))
+
+
+class TemporalDecayAttention(Module):
+    """Multi-head attention whose scores decay with temporal distance.
+
+    Used by the RoBERTa baseline: "the calculation of attention weights
+    takes into account the decay effect of temporal distance". A learnable
+    per-head rate λ subtracts ``λ · |Δt|`` (log-hours) from the logits.
+    """
+
+    def __init__(
+        self, dim: int, num_heads: int, rng: np.random.Generator, dropout: float = 0.0
+    ) -> None:
+        super().__init__()
+        self.inner = MultiHeadAttention(dim, num_heads, rng, dropout)
+        self.decay = Parameter(np.full(num_heads, 0.1))
+        self.num_heads = num_heads
+
+    def forward(
+        self,
+        x: Tensor,
+        timestamps_hours: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """``timestamps_hours``: (B, T) event times in hours."""
+        inner = self.inner
+        q = split_heads(inner.w_q(x), self.num_heads)
+        k = split_heads(inner.w_k(x), self.num_heads)
+        v = split_heads(inner.w_v(x), self.num_heads)
+        scores = (q @ k.swapaxes(-1, -2)) * inner._scale
+        delta = np.abs(
+            timestamps_hours[:, :, None] - timestamps_hours[:, None, :]
+        )  # (B, T, T)
+        log_delta = Tensor(np.log1p(delta)[:, None, :, :])  # (B, 1, T, T)
+        rates = self.decay.reshape(1, self.num_heads, 1, 1)
+        scores = scores - rates * log_delta
+        if mask is not None:
+            scores = scores.masked_fill(attention_mask_bias(mask), NEG_INF)
+        weights = inner.dropout(scores.softmax(axis=-1))
+        return inner.w_o(merge_heads(weights @ v))
+
+
+def relative_position_index(length: int, max_distance: int) -> np.ndarray:
+    """(T, T) matrix of clipped relative-position bucket ids.
+
+    ``index[i, j] = clip(j - i, ±max_distance) + max_distance`` ∈
+    [0, 2·max_distance].
+    """
+    pos = np.arange(length)
+    rel = pos[None, :] - pos[:, None]
+    return np.clip(rel, -max_distance, max_distance) + max_distance
+
+
+class DisentangledSelfAttention(Module):
+    """DeBERTa-style disentangled attention.
+
+    The attention logit decomposes into content-to-content,
+    content-to-position and position-to-content terms, with *relative*
+    position embeddings shared across the layer:
+
+    ``A[i,j] = Qc_i·Kc_j + Qc_i·Kr_{δ(i,j)} + Kc_j·Qr_{δ(j,i)}``
+
+    scaled by ``1/sqrt(3·d_h)`` as in the paper (He et al., 2021).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        max_relative_distance: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise ShapeError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.max_relative_distance = max_relative_distance
+        self.head_dim = dim // num_heads
+        self.w_q = Linear(dim, dim, rng)
+        self.w_k = Linear(dim, dim, rng)
+        self.w_v = Linear(dim, dim, rng)
+        self.w_o = Linear(dim, dim, rng)
+        num_buckets = 2 * max_relative_distance + 1
+        self.rel_embed = Parameter(
+            rng.normal(0.0, 0.02, size=(num_buckets, dim))
+        )
+        self.w_qr = Linear(dim, dim, rng, bias=False)
+        self.w_kr = Linear(dim, dim, rng, bias=False)
+        self.dropout = Dropout(dropout, rng)
+        self._scale = 1.0 / np.sqrt(3.0 * self.head_dim)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        batch, steps, _ = x.shape
+        qc = split_heads(self.w_q(x), self.num_heads)  # (B,h,T,dh)
+        kc = split_heads(self.w_k(x), self.num_heads)
+        v = split_heads(self.w_v(x), self.num_heads)
+
+        rel = Tensor.ensure(self.rel_embed)
+        kr = self.w_kr(rel)  # (buckets, D)
+        qr = self.w_qr(rel)
+        buckets = kr.shape[0]
+        kr = kr.reshape(buckets, self.num_heads, self.head_dim).transpose(1, 0, 2)
+        qr = qr.reshape(buckets, self.num_heads, self.head_dim).transpose(1, 0, 2)
+
+        idx = relative_position_index(steps, self.max_relative_distance)
+
+        c2c = qc @ kc.swapaxes(-1, -2)  # (B,h,T,T)
+        # content→position: Qc_i · Kr_{δ(i,j)}
+        c2p_all = qc @ kr.swapaxes(-1, -2)  # (B,h,T,buckets)
+        rows = np.arange(steps)[:, None]
+        c2p = c2p_all[:, :, rows, idx]  # (B,h,T,T)
+        # position→content: Kc_j · Qr_{δ(j,i)} with δ(j,i) = clip(i−j)+R,
+        # i.e. bucket idx[j, i]; gather per j then transpose to [b,h,i,j].
+        p2c_all = kc @ qr.swapaxes(-1, -2)  # (B,h,T,buckets)
+        p2c_j = p2c_all[:, :, rows, idx]  # p2c_j[b,h,j,i]
+        p2c = p2c_j.swapaxes(-1, -2)
+
+        scores = (c2c + c2p + p2c) * self._scale
+        if mask is not None:
+            scores = scores.masked_fill(attention_mask_bias(mask), NEG_INF)
+        weights = self.dropout(scores.softmax(axis=-1))
+        return self.w_o(merge_heads(weights @ v))

@@ -1,0 +1,27 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int, shape=None
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    shape = shape or (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(rng: np.random.Generator, shape, std: float = 0.02) -> np.ndarray:
+    """Truncated-free normal init (BERT-style std=0.02)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, shape) -> np.ndarray:
+    """Orthogonal init for recurrent kernels (rows or columns orthonormal)."""
+    rows, cols = shape
+    size = max(rows, cols)
+    q, _ = np.linalg.qr(rng.normal(0.0, 1.0, size=(size, size)))
+    return q[:rows, :cols].copy()

@@ -1,0 +1,152 @@
+"""Recurrent layers: LSTM and GRU cells, unidirectional and bidirectional.
+
+Inputs are ``(batch, time, features)`` tensors plus an optional
+``(batch, time)`` float mask (1 = real step, 0 = padding). Masked steps
+carry the previous hidden state through unchanged, so right-padded batches
+produce identical results to per-sequence processing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import orthogonal, xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class LSTMCell(Module):
+    """Standard LSTM cell with fused gate projection."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_x = Parameter(xavier_uniform(rng, input_dim, 4 * hidden_dim))
+        self.w_h = Parameter(orthogonal(rng, (hidden_dim, 4 * hidden_dim)))
+        bias = np.zeros(4 * hidden_dim)
+        bias[hidden_dim : 2 * hidden_dim] = 1.0  # forget-gate bias trick
+        self.bias = Parameter(bias)
+
+    def forward(
+        self, x: Tensor, h: Tensor, c: Tensor
+    ) -> tuple[Tensor, Tensor]:
+        z = x @ self.w_x + h @ self.w_h + self.bias
+        H = self.hidden_dim
+        i = z[:, 0 * H : 1 * H].sigmoid()
+        f = z[:, 1 * H : 2 * H].sigmoid()
+        g = z[:, 2 * H : 3 * H].tanh()
+        o = z[:, 3 * H : 4 * H].sigmoid()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+
+class GRUCell(Module):
+    """Standard GRU cell (reset/update gates + candidate state)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_x_rz = Parameter(xavier_uniform(rng, input_dim, 2 * hidden_dim))
+        self.w_h_rz = Parameter(orthogonal(rng, (hidden_dim, 2 * hidden_dim)))
+        self.b_rz = Parameter(np.zeros(2 * hidden_dim))
+        self.w_x_n = Parameter(xavier_uniform(rng, input_dim, hidden_dim))
+        self.w_h_n = Parameter(orthogonal(rng, (hidden_dim, hidden_dim)))
+        self.b_n = Parameter(np.zeros(hidden_dim))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        H = self.hidden_dim
+        rz = (x @ self.w_x_rz + h @ self.w_h_rz + self.b_rz).sigmoid()
+        r = rz[:, :H]
+        z = rz[:, H:]
+        n = (x @ self.w_x_n + (r * h) @ self.w_h_n + self.b_n).tanh()
+        return (1.0 - z) * n + z * h
+
+
+def _mask_step(mask_col: np.ndarray, new: Tensor, old: Tensor) -> Tensor:
+    """Blend new/old state by a (batch,) 0/1 mask column."""
+    m = Tensor(mask_col.reshape(-1, 1))
+    return m * new + (1.0 - m) * old
+
+
+class _Recurrent(Module):
+    """Shared scan logic for LSTM/GRU over (B, T, D)."""
+
+    cell_kind = "gru"
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        bidirectional: bool = False,
+    ) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.bidirectional = bidirectional
+        self.fwd = self._make_cell(input_dim, hidden_dim, rng)
+        if bidirectional:
+            self.bwd = self._make_cell(input_dim, hidden_dim, rng)
+
+    def _make_cell(self, input_dim, hidden_dim, rng):
+        raise NotImplementedError
+
+    def _scan(self, cell, x: Tensor, mask: np.ndarray | None, reverse: bool):
+        batch, steps, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_dim)))
+        c = Tensor(np.zeros((batch, self.hidden_dim)))
+        outputs: list[Tensor] = [None] * steps
+        order = range(steps - 1, -1, -1) if reverse else range(steps)
+        for t in order:
+            x_t = x[:, t, :]
+            if self.cell_kind == "lstm":
+                h_new, c_new = cell(x_t, h, c)
+            else:
+                h_new = cell(x_t, h)
+                c_new = c
+            if mask is not None:
+                h = _mask_step(mask[:, t], h_new, h)
+                if self.cell_kind == "lstm":
+                    c = _mask_step(mask[:, t], c_new, c)
+            else:
+                h, c = h_new, c_new
+            outputs[t] = h
+        return Tensor.stack(outputs, axis=1), h
+
+    def forward(
+        self, x: Tensor, mask: np.ndarray | None = None
+    ) -> tuple[Tensor, Tensor]:
+        """Returns (outputs, final_state).
+
+        outputs: (B, T, H) or (B, T, 2H) if bidirectional;
+        final_state: (B, H) or (B, 2H).
+        """
+        out_f, h_f = self._scan(self.fwd, x, mask, reverse=False)
+        if not self.bidirectional:
+            return out_f, h_f
+        out_b, h_b = self._scan(self.bwd, x, mask, reverse=True)
+        return (
+            Tensor.concat([out_f, out_b], axis=2),
+            Tensor.concat([h_f, h_b], axis=1),
+        )
+
+
+class GRU(_Recurrent):
+    """(Bi)directional GRU over padded batches."""
+
+    cell_kind = "gru"
+
+    def _make_cell(self, input_dim, hidden_dim, rng):
+        return GRUCell(input_dim, hidden_dim, rng)
+
+
+class LSTM(_Recurrent):
+    """(Bi)directional LSTM over padded batches."""
+
+    cell_kind = "lstm"
+
+    def _make_cell(self, input_dim, hidden_dim, rng):
+        return LSTMCell(input_dim, hidden_dim, rng)

@@ -1,0 +1,31 @@
+"""Checkpointing: save/load module state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+#: Key prefix to avoid collisions with np.savez reserved names.
+_PREFIX = "param::"
+
+
+def save_checkpoint(module: Module, path: str | Path) -> None:
+    """Write a module's parameters to ``path`` (npz)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = {_PREFIX + k: v for k, v in module.state_dict().items()}
+    np.savez(path, **state)
+
+
+def load_checkpoint(module: Module, path: str | Path) -> None:
+    """Load parameters saved by :func:`save_checkpoint` into ``module``."""
+    with np.load(Path(path)) as archive:
+        state = {
+            key[len(_PREFIX):]: archive[key]
+            for key in archive.files
+            if key.startswith(_PREFIX)
+        }
+    module.load_state_dict(state)

@@ -1,0 +1,164 @@
+"""Transformer encoders: absolute-position (RoBERTa-style) and
+disentangled relative-position (DeBERTa-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import DisentangledSelfAttention, MultiHeadAttention
+from repro.nn.layers import Dropout, Embedding, GELU, LayerNorm, Linear
+from repro.nn.module import Module, ModuleList
+from repro.nn.tensor import Tensor
+
+
+class FeedForward(Module):
+    """Position-wise two-layer MLP with GELU."""
+
+    def __init__(
+        self, dim: int, hidden: int, rng: np.random.Generator, dropout: float = 0.0
+    ) -> None:
+        super().__init__()
+        self.fc1 = Linear(dim, hidden, rng)
+        self.act = GELU()
+        self.fc2 = Linear(hidden, dim, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.fc2(self.act(self.fc1(x))))
+
+
+class EncoderLayer(Module):
+    """Post-LN transformer encoder block (BERT/RoBERTa convention)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ffn_hidden: int,
+        rng: np.random.Generator,
+        dropout: float = 0.1,
+        attention: Module | None = None,
+    ) -> None:
+        super().__init__()
+        self.attn = attention or MultiHeadAttention(dim, num_heads, rng, dropout)
+        self.norm1 = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_hidden, rng, dropout)
+        self.norm2 = LayerNorm(dim)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        attended = self.attn(x, mask=mask)
+        x = self.norm1(x + self.dropout(attended))
+        x = self.norm2(x + self.ffn(x))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Token embedding + learned absolute positions + N encoder blocks.
+
+    This is the RoBERTa-style backbone: absolute position embeddings,
+    post-layer-norm blocks, GELU feed-forward.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        num_layers: int,
+        num_heads: int,
+        max_len: int,
+        rng: np.random.Generator,
+        ffn_hidden: int | None = None,
+        dropout: float = 0.1,
+        pad_id: int = 0,
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.max_len = max_len
+        self.pad_id = pad_id
+        ffn_hidden = ffn_hidden or 4 * dim
+        self.token_embed = Embedding(vocab_size, dim, rng, padding_idx=pad_id)
+        self.pos_embed = Embedding(max_len, dim, rng)
+        self.embed_norm = LayerNorm(dim)
+        self.embed_dropout = Dropout(dropout, rng)
+        self.layers = ModuleList(
+            EncoderLayer(dim, num_heads, ffn_hidden, rng, dropout)
+            for _ in range(num_layers)
+        )
+
+    def embed(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        _, steps = token_ids.shape
+        positions = np.broadcast_to(np.arange(steps), token_ids.shape)
+        x = self.token_embed(token_ids) + self.pos_embed(positions)
+        return self.embed_dropout(self.embed_norm(x))
+
+    def forward(
+        self, token_ids: np.ndarray, mask: np.ndarray | None = None
+    ) -> Tensor:
+        """(B, T) token ids → (B, T, dim) contextual states."""
+        if mask is None:
+            mask = (np.asarray(token_ids) != self.pad_id).astype(np.float64)
+        x = self.embed(token_ids)
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return x
+
+
+class DisentangledTransformerEncoder(Module):
+    """DeBERTa-style backbone: *no* absolute positions in the embedding;
+    every block uses disentangled relative-position attention."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        num_layers: int,
+        num_heads: int,
+        max_len: int,
+        rng: np.random.Generator,
+        ffn_hidden: int | None = None,
+        dropout: float = 0.1,
+        pad_id: int = 0,
+        max_relative_distance: int = 16,
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.max_len = max_len
+        self.pad_id = pad_id
+        ffn_hidden = ffn_hidden or 4 * dim
+        self.token_embed = Embedding(vocab_size, dim, rng, padding_idx=pad_id)
+        self.embed_norm = LayerNorm(dim)
+        self.embed_dropout = Dropout(dropout, rng)
+        self.layers = ModuleList(
+            EncoderLayer(
+                dim,
+                num_heads,
+                ffn_hidden,
+                rng,
+                dropout,
+                attention=DisentangledSelfAttention(
+                    dim, num_heads, max_relative_distance, rng, dropout
+                ),
+            )
+            for _ in range(num_layers)
+        )
+
+    def forward(
+        self, token_ids: np.ndarray, mask: np.ndarray | None = None
+    ) -> Tensor:
+        if mask is None:
+            mask = (np.asarray(token_ids) != self.pad_id).astype(np.float64)
+        x = self.embed_dropout(self.embed_norm(self.token_embed(token_ids)))
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return x
+
+
+def mean_pool(states: Tensor, mask: np.ndarray) -> Tensor:
+    """Mask-aware mean over the time axis: (B, T, D) → (B, D)."""
+    mask = np.asarray(mask, dtype=np.float64)
+    weights = Tensor(mask[:, :, None])
+    summed = (states * weights).sum(axis=1)
+    counts = Tensor(np.maximum(mask.sum(axis=1, keepdims=True), 1.0))
+    return summed / counts

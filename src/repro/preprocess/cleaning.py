@@ -1,0 +1,102 @@
+"""Text cleaning and relevance filtering (paper §II-A2).
+
+The raw crawl contains URLs, zero-width characters, excessive punctuation,
+hashtag spam, and off-topic submissions. This module removes the noise and
+filters posts unrelated to the suicide-risk theme.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+from repro.corpus.models import RedditPost
+
+_URL_RE = re.compile(r"(?:https?://|www\.)\S+", re.IGNORECASE)
+_HASHTAG_RE = re.compile(r"(?:#\w+\s*){2,}")
+_REPEAT_PUNCT_RE = re.compile(r"([!?.,])\1{2,}")
+_BRACKET_TAG_RE = re.compile(r"\[(?:removed|deleted)[^\]]*\]", re.IGNORECASE)
+_WS_RE = re.compile(r"\s+")
+_ZERO_WIDTH = dict.fromkeys(map(ord, "​‌‍﻿"), None)
+
+#: First-person distress vocabulary used by the cheap relevance filter.
+_RELEVANCE_TERMS = (
+    "suicide", "suicidal", "die", "dying", "death", "kill", "end my life",
+    "ending it", "self harm", "self-harm", "hurt myself", "attempt",
+    "hopeless", "worthless", "can't go on", "goodbye", "note", "crisis",
+    "depress", "anxious", "anxiety", "therapy", "therapist", "hotline",
+    "alone", "exhausted", "numb", "trapped", "overwhelmed", "struggling",
+    "vent", "tired of", "wish i", "want out", "disappear", "not wake up",
+    "hollow", "isolated", "defeated", "drained", "invisible", "restless",
+    "heavy", "pointless", "hospital", "recover", "survived", "scars",
+    "worried about", "talking about", "wish to be gone", "not exist",
+    "be alive", "no plan", "support", "resources", "help", "safe",
+    "counselor", "hurting", "struggle", "off my chest", "gone",
+)
+
+#: Patterns typical of commercial / off-topic content (regexes, word-bounded
+#: where a bare word would otherwise shadow distress vocabulary).
+_OFFTOPIC_PATTERNS = tuple(
+    re.compile(pat, re.IGNORECASE)
+    for pat in (
+        r"promo code", r"dm me", r"for sale", r"\bselling\b", r"\btickets\b",
+        r"\bdiscount\b", r"\bdeals?\b", r"recommendations for a",
+        r"study group", r"the game tonight", r"\bpizza\b", r"\blaptop\b",
+        r"\brouter\b", r"\[ot\]",
+    )
+)
+
+
+def strip_noise(text: str) -> str:
+    """Remove URLs, zero-width chars, hashtag runs, repeated punctuation."""
+    text = unicodedata.normalize("NFKC", text)
+    text = text.translate(_ZERO_WIDTH)
+    text = _URL_RE.sub(" ", text)
+    text = _HASHTAG_RE.sub(" ", text)
+    text = _BRACKET_TAG_RE.sub(" ", text)
+    text = _REPEAT_PUNCT_RE.sub(r"\1", text)
+    return _WS_RE.sub(" ", text).strip()
+
+
+def relevance_score(text: str) -> float:
+    """Crude lexical relevance score in [0, 1].
+
+    Counts distress-vocabulary hits and penalises off-topic/commercial
+    patterns. A score of 0 means certainly off-topic.
+    """
+    lowered = text.lower()
+    hits = sum(1 for term in _RELEVANCE_TERMS if term in lowered)
+    penalties = sum(1 for pat in _OFFTOPIC_PATTERNS if pat.search(lowered))
+    raw = hits - 2 * penalties
+    return max(0.0, min(1.0, raw / 3.0))
+
+
+def is_relevant(text: str, threshold: float = 0.3) -> bool:
+    """Whether a post passes the suicide-risk-theme relevance filter."""
+    return relevance_score(text) >= threshold
+
+
+def clean_post(post: RedditPost) -> RedditPost:
+    """Return a copy of ``post`` with noise stripped from the body."""
+    return post.with_body(strip_noise(post.body))
+
+
+def clean_and_filter(
+    posts: list[RedditPost], relevance_threshold: float = 0.3
+) -> tuple[list[RedditPost], int]:
+    """Clean every post and drop irrelevant ones.
+
+    Returns
+    -------
+    (kept, num_dropped):
+        Cleaned relevant posts (original order) and the drop count.
+    """
+    kept = []
+    dropped = 0
+    for post in posts:
+        cleaned = clean_post(post)
+        if not cleaned.body or not is_relevant(cleaned.text, relevance_threshold):
+            dropped += 1
+            continue
+        kept.append(cleaned)
+    return kept, dropped

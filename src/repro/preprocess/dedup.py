@@ -1,0 +1,140 @@
+"""Duplicate removal: exact and near-duplicate detection.
+
+Exact duplicates (reposts of identical text) are caught with a normalised
+hash; near-duplicates (small edits, appended noise) with MinHash over word
+shingles followed by a Jaccard check — the standard construction used in
+web-scale dedup, here sized for a ~10⁵-post crawl.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from collections import defaultdict
+
+import numpy as np
+
+from repro.corpus.models import RedditPost
+
+_WORD_RE = re.compile(r"[a-z0-9']+")
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 32) - 1
+
+
+def normalised_fingerprint(text: str) -> str:
+    """Hash of the lower-cased, whitespace-collapsed text."""
+    canonical = " ".join(_WORD_RE.findall(text.lower()))
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+
+
+def shingles(text: str, k: int = 3) -> set[str]:
+    """Set of ``k``-word shingles of the text."""
+    words = _WORD_RE.findall(text.lower())
+    if len(words) < k:
+        return {" ".join(words)} if words else set()
+    return {" ".join(words[i : i + k]) for i in range(len(words) - k + 1)}
+
+
+def jaccard(a: set[str], b: set[str]) -> float:
+    """Jaccard similarity of two shingle sets."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+class MinHasher:
+    """MinHash signatures with ``num_perm`` universal hash permutations."""
+
+    def __init__(self, num_perm: int = 64, seed: int = 1) -> None:
+        if num_perm < 4:
+            raise ValueError("num_perm must be >= 4")
+        rng = np.random.default_rng(seed)
+        self.num_perm = num_perm
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=num_perm, dtype=np.uint64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=num_perm, dtype=np.uint64)
+
+    def signature(self, shingle_set: set[str]) -> np.ndarray:
+        """MinHash signature (uint64 vector of length ``num_perm``)."""
+        if not shingle_set:
+            return np.full(self.num_perm, _MAX_HASH, dtype=np.uint64)
+        base = np.array(
+            [
+                int.from_bytes(
+                    hashlib.blake2b(s.encode(), digest_size=8).digest(), "little"
+                )
+                for s in shingle_set
+            ],
+            dtype=np.uint64,
+        )
+        # (a * x + b) mod p, min over shingles, per permutation.
+        sig = np.empty(self.num_perm, dtype=np.uint64)
+        for i in range(self.num_perm):
+            hashed = (self._a[i] * base + self._b[i]) % _MERSENNE_PRIME
+            sig[i] = hashed.min() & _MAX_HASH
+        return sig
+
+    @staticmethod
+    def estimate_jaccard(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Estimated Jaccard similarity from two signatures."""
+        return float(np.mean(sig_a == sig_b))
+
+
+def remove_exact_duplicates(
+    posts: list[RedditPost],
+) -> tuple[list[RedditPost], int]:
+    """Keep the earliest copy of each identical text; drop the rest."""
+    seen: set[str] = set()
+    kept, dropped = [], 0
+    for post in sorted(posts, key=lambda p: (p.created_utc, p.post_id)):
+        fp = normalised_fingerprint(post.text)
+        if fp in seen:
+            dropped += 1
+            continue
+        seen.add(fp)
+        kept.append(post)
+    return kept, dropped
+
+
+def remove_near_duplicates(
+    posts: list[RedditPost],
+    threshold: float = 0.85,
+    num_perm: int = 64,
+    bands: int = 16,
+) -> tuple[list[RedditPost], int]:
+    """LSH-banded MinHash near-duplicate removal.
+
+    Signatures are split into ``bands``; posts sharing any band bucket are
+    candidate pairs, confirmed with exact Jaccard on shingles. Of each
+    duplicate cluster, the earliest post survives.
+    """
+    if num_perm % bands != 0:
+        raise ValueError("num_perm must be divisible by bands")
+    ordered = sorted(posts, key=lambda p: (p.created_utc, p.post_id))
+    hasher = MinHasher(num_perm=num_perm)
+    shingle_sets = [shingles(p.text) for p in ordered]
+    sigs = [hasher.signature(s) for s in shingle_sets]
+
+    rows = num_perm // bands
+    buckets: dict[tuple[int, bytes], list[int]] = defaultdict(list)
+    for idx, sig in enumerate(sigs):
+        for band in range(bands):
+            key = (band, sig[band * rows : (band + 1) * rows].tobytes())
+            buckets[key].append(idx)
+
+    drop: set[int] = set()
+    for members in buckets.values():
+        if len(members) < 2:
+            continue
+        for pos, i in enumerate(members):
+            if i in drop:
+                continue
+            for j in members[pos + 1 :]:
+                if j in drop:
+                    continue
+                if jaccard(shingle_sets[i], shingle_sets[j]) >= threshold:
+                    drop.add(j)  # j is later (ordered list)
+    kept = [p for idx, p in enumerate(ordered) if idx not in drop]
+    return kept, len(drop)

@@ -1,0 +1,31 @@
+"""Temporal stack: behaviour statistics, dense encodings, windows."""
+
+from repro.temporal.encoding import (
+    TimeEncoder,
+    cumulative_encoding,
+    interval_encoding,
+    periodic_encoding,
+    time_tags,
+)
+from repro.temporal.features import (
+    TemporalStats,
+    gaps_hours,
+    is_night,
+    temporal_stats,
+)
+from repro.temporal.windows import PostWindow, build_window, build_windows
+
+__all__ = [
+    "TimeEncoder",
+    "cumulative_encoding",
+    "interval_encoding",
+    "periodic_encoding",
+    "time_tags",
+    "TemporalStats",
+    "gaps_hours",
+    "is_night",
+    "temporal_stats",
+    "PostWindow",
+    "build_window",
+    "build_windows",
+]

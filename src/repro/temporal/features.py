@@ -1,0 +1,111 @@
+"""Temporal behaviour features (XGBoost time dimension).
+
+The paper's feature-importance analysis found time features most
+predictive: "the change pattern of posting time intervals and the
+proportion of nighttime posts". This module computes those statistics from
+a chronological post history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from datetime import datetime
+
+import numpy as np
+
+from repro.corpus.models import RedditPost
+
+NIGHT_START_HOUR = 23
+NIGHT_END_HOUR = 5
+
+SECONDS_PER_HOUR = 3600.0
+
+
+def is_night(when: datetime) -> bool:
+    """Whether a timestamp falls in the 23:00–05:00 night window."""
+    hour = when.hour
+    return hour >= NIGHT_START_HOUR or hour < NIGHT_END_HOUR
+
+
+def gaps_hours(timestamps: list[datetime]) -> np.ndarray:
+    """Successive inter-post gaps in hours (length n-1)."""
+    if len(timestamps) < 2:
+        return np.zeros(0)
+    ts = np.array([t.timestamp() for t in timestamps])
+    return np.diff(ts) / SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class TemporalStats:
+    """Temporal features of one posting history."""
+
+    num_posts: float
+    span_days: float
+    mean_gap_hours: float
+    std_gap_hours: float
+    min_gap_hours: float
+    max_gap_hours: float
+    gap_trend: float  # slope of gap vs index: negative = accelerating
+    burstiness: float  # (σ−μ)/(σ+μ) of gaps, in [−1, 1]
+    night_ratio: float
+    weekend_ratio: float
+    hour_entropy: float
+    posts_per_week: float
+    recent_gap_ratio: float  # last gap / mean gap (posting acceleration)
+
+    def as_vector(self) -> np.ndarray:
+        return np.array(
+            [getattr(self, f.name) for f in fields(self)], dtype=np.float64
+        )
+
+    @classmethod
+    def feature_names(cls) -> list[str]:
+        return [f.name for f in fields(cls)]
+
+
+def temporal_stats(posts: list[RedditPost]) -> TemporalStats:
+    """Compute :class:`TemporalStats` over a chronological post list."""
+    n = len(posts)
+    if n == 0:
+        zero = {f.name: 0.0 for f in fields(TemporalStats)}
+        return TemporalStats(**zero)
+    times = [p.created_utc for p in posts]
+    gaps = gaps_hours(times)
+    span_days = (
+        (times[-1].timestamp() - times[0].timestamp()) / 86_400.0 if n > 1 else 0.0
+    )
+    hours = np.array([t.hour for t in times])
+    hist = np.bincount(hours, minlength=24).astype(float)
+    probs = hist / hist.sum()
+    nonzero = probs[probs > 0]
+    entropy = float(-(nonzero * np.log(nonzero)).sum())
+
+    if gaps.size:
+        mean_gap = float(gaps.mean())
+        std_gap = float(gaps.std())
+        trend = (
+            float(np.polyfit(np.arange(gaps.size), gaps, 1)[0])
+            if gaps.size >= 2
+            else 0.0
+        )
+        denom = std_gap + mean_gap
+        burst = float((std_gap - mean_gap) / denom) if denom > 0 else 0.0
+        recent_ratio = float(gaps[-1] / mean_gap) if mean_gap > 0 else 0.0
+    else:
+        mean_gap = std_gap = trend = burst = recent_ratio = 0.0
+
+    return TemporalStats(
+        num_posts=float(n),
+        span_days=span_days,
+        mean_gap_hours=mean_gap,
+        std_gap_hours=std_gap,
+        min_gap_hours=float(gaps.min()) if gaps.size else 0.0,
+        max_gap_hours=float(gaps.max()) if gaps.size else 0.0,
+        gap_trend=trend,
+        burstiness=burst,
+        night_ratio=float(np.mean([is_night(t) for t in times])),
+        weekend_ratio=float(np.mean([t.weekday() >= 5 for t in times])),
+        hour_entropy=entropy,
+        posts_per_week=n / max(span_days / 7.0, 1.0 / 7.0),
+        recent_gap_ratio=recent_ratio,
+    )

@@ -1,0 +1,98 @@
+"""User-level prediction windows.
+
+The benchmark task (paper §III): "the suicide risk level of the user's
+latest post is used as the user's label", and models see the user's
+sequential posts inside a time window — "the stable version has 5 window
+elements".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import WindowConfig
+from repro.core.errors import DatasetError
+from repro.core.schema import RiskLevel
+from repro.corpus.models import RedditPost, UserHistory
+from repro.preprocess.partition import slice_window
+
+
+@dataclass(frozen=True)
+class PostWindow:
+    """One user-level sample: a chronological window plus its label."""
+
+    author: str
+    posts: tuple[RedditPost, ...]
+    label: RiskLevel
+
+    @property
+    def texts(self) -> list[str]:
+        return [p.text for p in self.posts]
+
+    @property
+    def latest(self) -> RedditPost:
+        return self.posts[-1]
+
+    def __len__(self) -> int:
+        return len(self.posts)
+
+
+def build_window(
+    history: UserHistory,
+    config: WindowConfig | None = None,
+    label: RiskLevel | None = None,
+) -> PostWindow:
+    """Window of a user's most recent posts; label = latest post's label.
+
+    Parameters
+    ----------
+    label:
+        Override label (e.g. the campaign's final label for the latest
+        post). Defaults to the latest post's oracle label.
+    """
+    config = config or WindowConfig()
+    posts = slice_window(
+        history, max_posts=config.size, max_span_days=config.max_span_days
+    )
+    if not posts:
+        raise DatasetError(f"user {history.author} has no posts in window")
+    final = label if label is not None else posts[-1].oracle_label
+    if final is None:
+        raise DatasetError(
+            f"latest post of {history.author} carries no label"
+        )
+    return PostWindow(
+        author=history.author, posts=tuple(posts), label=RiskLevel.from_any(final)
+    )
+
+
+def build_windows(
+    histories: dict[str, UserHistory],
+    config: WindowConfig | None = None,
+    labels: dict[str, RiskLevel] | None = None,
+) -> list[PostWindow]:
+    """Windows for every user, sorted by author for determinism.
+
+    Parameters
+    ----------
+    labels:
+        Optional post_id → label mapping (campaign output); the window
+        label is then the mapped label of the latest post.
+    """
+    windows = []
+    for author in sorted(histories):
+        history = histories[author]
+        override = None
+        if labels is not None:
+            posts = slice_window(
+                history,
+                max_posts=(config or WindowConfig()).size,
+                max_span_days=(config or WindowConfig()).max_span_days,
+            )
+            if not posts:
+                continue
+            override = labels.get(posts[-1].post_id)
+            if override is None:
+                continue  # latest post was not labelled; skip user
+        windows.append(build_window(history, config, label=override))
+    return windows

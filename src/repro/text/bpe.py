@@ -1,0 +1,122 @@
+"""Byte-pair-encoding subword tokeniser.
+
+The paper's PLM baselines use RoBERTa/DeBERTa subword vocabularies. We
+train a small BPE from scratch on the in-domain corpus — the same
+construction (greedy merge of the most frequent adjacent symbol pair),
+sized for a few thousand merges.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.text.tokenizer import WordTokenizer
+
+#: Marker appended to word-final symbols so merges cannot cross words.
+END_OF_WORD = "</w>"
+
+
+def _word_to_symbols(word: str) -> tuple[str, ...]:
+    return tuple(word[:-1]) + (word[-1] + END_OF_WORD,)
+
+
+class BPETokenizer:
+    """Trainable byte-pair encoder.
+
+    Usage
+    -----
+    >>> bpe = BPETokenizer(num_merges=200)
+    >>> bpe.train(["the cat sat", "the cat ran"])
+    >>> bpe.tokenize("the cat")
+    """
+
+    def __init__(self, num_merges: int = 2000) -> None:
+        if num_merges < 1:
+            raise ValueError("num_merges must be >= 1")
+        self.num_merges = num_merges
+        self.merges: dict[tuple[str, str], int] = {}
+        self._word_tokenizer = WordTokenizer()
+        self._cache: dict[str, tuple[str, ...]] = {}
+
+    # -- training ----------------------------------------------------------
+
+    def train(self, texts: Iterable[str]) -> "BPETokenizer":
+        """Learn merge rules from raw texts."""
+        word_freq = Counter()
+        for text in texts:
+            word_freq.update(self._word_tokenizer(text))
+        vocab = {
+            _word_to_symbols(word): freq for word, freq in word_freq.items() if word
+        }
+        merges: dict[tuple[str, str], int] = {}
+        for merge_idx in range(self.num_merges):
+            pair_counts = Counter()
+            for symbols, freq in vocab.items():
+                for a, b in zip(symbols, symbols[1:]):
+                    pair_counts[(a, b)] += freq
+            if not pair_counts:
+                break
+            (best, count), = pair_counts.most_common(1)
+            if count < 2:
+                break
+            merges[best] = merge_idx
+            merged_symbol = best[0] + best[1]
+            new_vocab = {}
+            for symbols, freq in vocab.items():
+                out = []
+                i = 0
+                while i < len(symbols):
+                    if (
+                        i + 1 < len(symbols)
+                        and (symbols[i], symbols[i + 1]) == best
+                    ):
+                        out.append(merged_symbol)
+                        i += 2
+                    else:
+                        out.append(symbols[i])
+                        i += 1
+                new_vocab[tuple(out)] = new_vocab.get(tuple(out), 0) + freq
+            vocab = new_vocab
+        self.merges = merges
+        self._cache.clear()
+        return self
+
+    # -- encoding ------------------------------------------------------------
+
+    def _apply_merges(self, word: str) -> tuple[str, ...]:
+        if word in self._cache:
+            return self._cache[word]
+        symbols = list(_word_to_symbols(word))
+        while len(symbols) > 1:
+            ranked = [
+                (self.merges[(a, b)], i)
+                for i, (a, b) in enumerate(zip(symbols, symbols[1:]))
+                if (a, b) in self.merges
+            ]
+            if not ranked:
+                break
+            _, i = min(ranked)
+            symbols[i : i + 2] = [symbols[i] + symbols[i + 1]]
+        result = tuple(symbols)
+        self._cache[word] = result
+        return result
+
+    def tokenize(self, text: str) -> list[str]:
+        """Subword tokens of ``text`` (word-final pieces carry </w>)."""
+        if not self.merges:
+            raise RuntimeError("BPETokenizer must be trained before use")
+        pieces: list[str] = []
+        for word in self._word_tokenizer(text):
+            pieces.extend(self._apply_merges(word))
+        return pieces
+
+    def __call__(self, text: str) -> list[str]:
+        return self.tokenize(text)
+
+    def vocabulary_tokens(self, texts: Iterable[str]) -> list[str]:
+        """All distinct subword pieces produced over ``texts``."""
+        seen: set[str] = set()
+        for text in texts:
+            seen.update(self.tokenize(text))
+        return sorted(seen)

@@ -1,0 +1,92 @@
+"""Text statistical and linguistic features (XGBoost text dimension).
+
+The paper's feature framework combines TF-IDF with "text statistical
+features and linguistic features"; it specifically calls out *sudden
+changes in content length* as predictive. This module computes the
+per-post statistics those sequence features are built from.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.text.tokenizer import WordTokenizer, sentences
+
+_FIRST_PERSON = {"i", "me", "my", "mine", "myself"}
+_NEGATIONS = {"not", "no", "never", "nothing", "nobody", "nowhere", "neither"}
+#: Absolutist words are elevated in anxiety/depression/ideation language
+#: (Al-Mosaiwi & Johnstone, 2018) — a standard linguistic risk feature.
+_ABSOLUTIST = {
+    "always", "never", "completely", "totally", "entire", "entirely",
+    "everyone", "everything", "nothing", "definitely", "constantly",
+    "absolutely", "all", "every", "must", "whole",
+}
+_QUESTION_RE = re.compile(r"\?")
+_EXCLAIM_RE = re.compile(r"!")
+
+
+@dataclass(frozen=True)
+class TextStats:
+    """Per-post statistical features."""
+
+    num_chars: float
+    num_words: float
+    num_sentences: float
+    avg_word_length: float
+    avg_sentence_length: float
+    first_person_ratio: float
+    negation_ratio: float
+    absolutist_ratio: float
+    question_marks: float
+    exclamation_marks: float
+    uppercase_ratio: float
+    type_token_ratio: float
+
+    def as_vector(self) -> np.ndarray:
+        return np.array(
+            [getattr(self, f.name) for f in fields(self)], dtype=np.float64
+        )
+
+    @classmethod
+    def feature_names(cls) -> list[str]:
+        return [f.name for f in fields(cls)]
+
+
+_TOKENIZER = WordTokenizer()
+
+
+def text_stats(text: str) -> TextStats:
+    """Compute :class:`TextStats` for one post."""
+    tokens = _TOKENIZER(text)
+    sents = sentences(text)
+    n_words = len(tokens)
+    n_sents = max(1, len(sents))
+    alpha = [c for c in text if c.isalpha()]
+    upper = sum(1 for c in alpha if c.isupper())
+    denom = max(1, n_words)
+    return TextStats(
+        num_chars=float(len(text)),
+        num_words=float(n_words),
+        num_sentences=float(len(sents)),
+        avg_word_length=(
+            float(np.mean([len(t) for t in tokens])) if tokens else 0.0
+        ),
+        avg_sentence_length=n_words / n_sents,
+        first_person_ratio=sum(t in _FIRST_PERSON for t in tokens) / denom,
+        negation_ratio=sum(t in _NEGATIONS for t in tokens) / denom,
+        absolutist_ratio=sum(t in _ABSOLUTIST for t in tokens) / denom,
+        question_marks=float(len(_QUESTION_RE.findall(text))),
+        exclamation_marks=float(len(_EXCLAIM_RE.findall(text))),
+        uppercase_ratio=upper / max(1, len(alpha)),
+        type_token_ratio=len(set(tokens)) / denom,
+    )
+
+
+def stats_matrix(texts: list[str]) -> np.ndarray:
+    """Stack per-post stats into an (n_posts, n_features) matrix."""
+    if not texts:
+        return np.zeros((0, len(TextStats.feature_names())))
+    return np.vstack([text_stats(t).as_vector() for t in texts])

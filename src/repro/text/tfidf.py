@@ -1,0 +1,139 @@
+"""TF-IDF vectorisation (dense/CSR), used by the XGBoost baseline."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.errors import NotFittedError
+from repro.text.tokenizer import STOPWORDS, WordTokenizer
+
+
+class TfidfVectorizer:
+    """Classic TF-IDF with smoothed idf, sublinear tf, and L2 rows.
+
+    Parameters
+    ----------
+    max_features:
+        Keep only the most document-frequent terms (None = all).
+    min_df / max_df:
+        Document-frequency bounds; ``max_df`` as a fraction of documents.
+    sublinear_tf:
+        Use ``1 + log(tf)`` instead of raw counts.
+    drop_stopwords:
+        Remove common English stopwords before counting.
+    ngram_range:
+        Inclusive (lo, hi) n-gram sizes over word tokens.
+    """
+
+    def __init__(
+        self,
+        max_features: int | None = 4000,
+        min_df: int = 2,
+        max_df: float = 0.9,
+        sublinear_tf: bool = True,
+        drop_stopwords: bool = True,
+        ngram_range: tuple[int, int] = (1, 1),
+    ) -> None:
+        if ngram_range[0] < 1 or ngram_range[1] < ngram_range[0]:
+            raise ValueError(f"bad ngram_range {ngram_range}")
+        self.max_features = max_features
+        self.min_df = min_df
+        self.max_df = max_df
+        self.sublinear_tf = sublinear_tf
+        self.drop_stopwords = drop_stopwords
+        self.ngram_range = ngram_range
+        self._tokenizer = WordTokenizer()
+        self.vocabulary_: dict[str, int] | None = None
+        self.idf_: np.ndarray | None = None
+
+    # -- helpers ----------------------------------------------------------
+
+    def _terms(self, text: str) -> list[str]:
+        tokens = self._tokenizer(text)
+        if self.drop_stopwords:
+            tokens = [t for t in tokens if t not in STOPWORDS]
+        lo, hi = self.ngram_range
+        terms: list[str] = []
+        for n in range(lo, hi + 1):
+            if n == 1:
+                terms.extend(tokens)
+            else:
+                terms.extend(
+                    " ".join(tokens[i : i + n])
+                    for i in range(len(tokens) - n + 1)
+                )
+        return terms
+
+    # -- API -----------------------------------------------------------------
+
+    def fit(self, documents: Iterable[str]) -> "TfidfVectorizer":
+        docs = list(documents)
+        n_docs = len(docs)
+        if n_docs == 0:
+            raise ValueError("cannot fit on an empty document collection")
+        doc_freq = Counter()
+        for doc in docs:
+            doc_freq.update(set(self._terms(doc)))
+        max_count = self.max_df * n_docs
+        items = [
+            (term, df)
+            for term, df in doc_freq.items()
+            if df >= self.min_df and df <= max_count
+        ]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        if self.max_features is not None:
+            items = items[: self.max_features]
+        self.vocabulary_ = {term: i for i, (term, _) in enumerate(items)}
+        self.idf_ = np.array(
+            [
+                math.log((1 + n_docs) / (1 + df)) + 1.0
+                for _, df in items
+            ],
+            dtype=np.float64,
+        )
+        return self
+
+    def transform(self, documents: Iterable[str]) -> sparse.csr_matrix:
+        if self.vocabulary_ is None or self.idf_ is None:
+            raise NotFittedError("TfidfVectorizer.transform before fit")
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        for doc in documents:
+            counts = Counter(
+                self.vocabulary_[t]
+                for t in self._terms(doc)
+                if t in self.vocabulary_
+            )
+            row_idx = sorted(counts)
+            row_val = []
+            for j in row_idx:
+                tf = counts[j]
+                weight = (1.0 + math.log(tf)) if self.sublinear_tf else float(tf)
+                row_val.append(weight * self.idf_[j])
+            norm = math.sqrt(sum(v * v for v in row_val)) or 1.0
+            indices.extend(row_idx)
+            data.extend(v / norm for v in row_val)
+            indptr.append(len(indices))
+        return sparse.csr_matrix(
+            (data, indices, indptr),
+            shape=(len(indptr) - 1, len(self.vocabulary_)),
+            dtype=np.float64,
+        )
+
+    def fit_transform(self, documents: Iterable[str]) -> sparse.csr_matrix:
+        docs = list(documents)
+        return self.fit(docs).transform(docs)
+
+    def feature_names(self) -> list[str]:
+        if self.vocabulary_ is None:
+            raise NotFittedError("TfidfVectorizer.feature_names before fit")
+        names = [""] * len(self.vocabulary_)
+        for term, idx in self.vocabulary_.items():
+            names[idx] = term
+        return names

@@ -1,0 +1,113 @@
+"""Tests for simulated annotators and supervisors."""
+
+import numpy as np
+import pytest
+
+from repro.annotation.annotators import (
+    ExpertSupervisor,
+    SimulatedAnnotator,
+    confusion_matrix,
+)
+from repro.core.schema import NUM_CLASSES, RiskLevel
+
+
+class TestConfusionMatrix:
+    def test_rows_are_distributions(self):
+        matrix = confusion_matrix(0.9)
+        assert matrix.shape == (NUM_CLASSES, NUM_CLASSES)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert (matrix >= 0).all()
+
+    def test_diagonal_equals_accuracy(self):
+        matrix = confusion_matrix(0.87)
+        assert np.allclose(np.diag(matrix), 0.87)
+
+    def test_adjacent_confusion_dominates(self):
+        matrix = confusion_matrix(0.8)
+        # Confusing IN with ID must be likelier than IN with AT.
+        assert matrix[0, 1] > matrix[0, 3]
+        assert matrix[3, 2] > matrix[3, 0]
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(0.0)
+        with pytest.raises(ValueError):
+            confusion_matrix(1.2)
+
+    def test_jitter_clipped(self):
+        matrix = confusion_matrix(0.95, skill_jitter=0.5)
+        assert np.diag(matrix).max() <= 0.999
+
+
+class TestSimulatedAnnotator:
+    def _annotator(self, rng, accuracy=0.9, uncertainty=0.0):
+        return SimulatedAnnotator("ann", accuracy, uncertainty, rng)
+
+    def test_empirical_accuracy(self, rng):
+        annotator = self._annotator(rng, accuracy=0.9)
+        hits = 0
+        n = 3000
+        for _ in range(n):
+            judgement = annotator.annotate(RiskLevel.IDEATION)
+            hits += judgement.label == RiskLevel.IDEATION
+        assert abs(hits / n - 0.9) < 0.03
+
+    def test_uncertainty_escalation_rate(self, rng):
+        annotator = self._annotator(rng, uncertainty=0.2)
+        escalated = sum(
+            annotator.annotate(RiskLevel.BEHAVIOR).uncertain
+            for _ in range(2000)
+        )
+        assert abs(escalated / 2000 - 0.2) < 0.04
+
+    def test_ambiguity_raises_escalations(self, rng):
+        annotator = self._annotator(rng, uncertainty=0.05)
+        plain = sum(
+            annotator.annotate(RiskLevel.BEHAVIOR, ambiguity=0.0).uncertain
+            for _ in range(1500)
+        )
+        hard = sum(
+            annotator.annotate(RiskLevel.BEHAVIOR, ambiguity=0.8).uncertain
+            for _ in range(1500)
+        )
+        assert hard > plain
+
+    def test_ambiguity_lowers_accuracy(self, rng):
+        annotator = self._annotator(rng, accuracy=0.92)
+        def acc(ambiguity):
+            hits = 0
+            for _ in range(2000):
+                j = annotator.annotate(RiskLevel.IDEATION, ambiguity)
+                hits += j.label == RiskLevel.IDEATION
+            return hits / 2000
+        assert acc(0.9) < acc(0.0)
+
+    def test_relabel_after_review_boosts_accuracy(self, rng):
+        annotator = self._annotator(rng, accuracy=0.7)
+        hits = sum(
+            annotator.relabel_after_review(RiskLevel.ATTEMPT) == RiskLevel.ATTEMPT
+            for _ in range(2000)
+        )
+        assert hits / 2000 > 0.8
+
+    def test_counters(self, rng):
+        annotator = self._annotator(rng, uncertainty=0.5)
+        for _ in range(100):
+            annotator.annotate(RiskLevel.INDICATOR)
+        assert annotator.items_labelled + annotator.items_escalated == 100
+
+
+class TestExpertSupervisor:
+    def test_high_accuracy(self, rng):
+        expert = ExpertSupervisor("sup", rng)
+        hits = sum(
+            expert.decide(RiskLevel.BEHAVIOR) == RiskLevel.BEHAVIOR
+            for _ in range(2000)
+        )
+        assert hits / 2000 > 0.96
+
+    def test_errors_are_other_labels(self, rng):
+        expert = ExpertSupervisor("sup", rng, accuracy=0.5)
+        outcomes = {expert.decide(RiskLevel.INDICATOR) for _ in range(500)}
+        assert RiskLevel.INDICATOR in outcomes
+        assert len(outcomes) > 1

@@ -1,0 +1,100 @@
+"""Tests for the Label-Studio-like platform substrate."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.annotation.platform import LabelingProject, TaskStatus
+from repro.core.errors import AnnotationError
+from repro.core.schema import RiskLevel
+from repro.corpus.models import RedditPost
+
+
+def make_post(pid="p1", body="text"):
+    return RedditPost(
+        post_id=pid, author="a", subreddit="s", title="t", body=body,
+        created_utc=datetime(2020, 1, 1, tzinfo=timezone.utc),
+    )
+
+
+@pytest.fixture()
+def project():
+    return LabelingProject("test")
+
+
+class TestTasks:
+    def test_add_task_assigns_ids(self, project):
+        t1 = project.add_task(make_post("p1"))
+        t2 = project.add_task(make_post("p2"))
+        assert (t1.task_id, t2.task_id) == (0, 1)
+
+    def test_add_tasks_with_ambiguities(self, project):
+        tasks = project.add_tasks([make_post("p1"), make_post("p2")], [0.1, 0.9])
+        assert [t.ambiguity for t in tasks] == [0.1, 0.9]
+
+    def test_ambiguity_length_mismatch(self, project):
+        with pytest.raises(AnnotationError):
+            project.add_tasks([make_post()], [0.1, 0.2])
+
+    def test_unknown_task_raises(self, project):
+        with pytest.raises(AnnotationError):
+            project.get(99)
+
+
+class TestWorkflow:
+    def test_assign_then_submit(self, project):
+        task = project.add_task(make_post())
+        project.assign(task.task_id, "ann-1")
+        project.submit(task.task_id, "ann-1", RiskLevel.IDEATION)
+        assert task.submissions["ann-1"] is RiskLevel.IDEATION
+        assert task.status is TaskStatus.IN_PROGRESS
+
+    def test_submit_without_assignment_rejected(self, project):
+        task = project.add_task(make_post())
+        with pytest.raises(AnnotationError):
+            project.submit(task.task_id, "stranger", RiskLevel.IDEATION)
+
+    def test_escalation(self, project):
+        task = project.add_task(make_post())
+        project.assign(task.task_id, "ann-1")
+        project.escalate(task.task_id, "ann-1")
+        assert task.status is TaskStatus.ESCALATED
+        assert task.escalated_by == ["ann-1"]
+
+    def test_finalise(self, project):
+        task = project.add_task(make_post())
+        project.assign(task.task_id, "ann-1")
+        project.finalise(task.task_id, RiskLevel.ATTEMPT, "vote")
+        assert task.final_label is RiskLevel.ATTEMPT
+        assert task.status is TaskStatus.COMPLETED
+        assert task.resolution == "vote"
+
+    def test_progress(self, project):
+        tasks = project.add_tasks([make_post(f"p{i}") for i in range(4)])
+        for task in tasks[:2]:
+            project.assign(task.task_id, "a")
+            project.finalise(task.task_id, RiskLevel.INDICATOR, "single")
+        assert project.progress == pytest.approx(0.5)
+
+    def test_by_status(self, project):
+        task = project.add_task(make_post())
+        assert project.by_status(TaskStatus.PENDING) == [task]
+
+
+class TestExport:
+    def test_export_shape(self, project):
+        task = project.add_task(make_post(body="hello world"))
+        project.assign(task.task_id, "ann-1")
+        project.submit(task.task_id, "ann-1", RiskLevel.BEHAVIOR)
+        project.finalise(task.task_id, RiskLevel.BEHAVIOR, "single")
+        export = project.export()
+        assert len(export) == 1
+        record = export[0]
+        assert record["data"]["text"] == task.post.text
+        assert record["meta"]["final_label"] == "Behavior"
+        choice = record["annotations"][0]["result"][0]["value"]["choices"]
+        assert choice == ["Behavior"]
+
+    def test_export_skips_incomplete(self, project):
+        project.add_task(make_post())
+        assert project.export() == []

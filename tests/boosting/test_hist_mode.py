@@ -1,0 +1,112 @@
+"""Tests for histogram-mode (quantile-binned) boosting."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBMParams, GradientBoostingClassifier
+from repro.boosting.gbm import QuantileBinner
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(700, 20))
+    y = (x[:, 0] > 0).astype(int) + (x[:, 1] + x[:, 2] > 0.5).astype(int)
+    return x, y
+
+
+class TestQuantileBinner:
+    def test_bin_range(self, data):
+        x, _ = data
+        binner = QuantileBinner(16)
+        binned = binner.fit_transform(x)
+        assert binned.min() >= 0
+        assert binned.max() <= 16
+
+    def test_monotone_within_feature(self, data):
+        x, _ = data
+        binner = QuantileBinner(8).fit(x)
+        col = x[:, 0]
+        binned = binner.transform(x)[:, 0]
+        order = np.argsort(col)
+        assert (np.diff(binned[order]) >= 0).all()
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            QuantileBinner(8).transform(np.zeros((1, 2)))
+
+    def test_min_bins(self):
+        with pytest.raises(ValueError):
+            QuantileBinner(1)
+
+    def test_constant_feature(self):
+        x = np.ones((50, 1))
+        binned = QuantileBinner(8).fit_transform(x)
+        assert len(np.unique(binned)) == 1
+
+
+class TestHistTraining:
+    def test_accuracy_comparable_to_exact(self, data):
+        x, y = data
+        exact = GradientBoostingClassifier(
+            GBMParams(n_estimators=15, max_depth=3)
+        ).fit(x[:500], y[:500])
+        hist = GradientBoostingClassifier(
+            GBMParams(n_estimators=15, max_depth=3, max_bins=16)
+        ).fit(x[:500], y[:500])
+        acc_exact = (exact.predict(x[500:]) == y[500:]).mean()
+        acc_hist = (hist.predict(x[500:]) == y[500:]).mean()
+        assert acc_hist > acc_exact - 0.08
+
+    def test_hist_is_faster_on_wide_data(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2000, 40))
+        y = (x[:, 0] > 0).astype(int)
+        t0 = time.perf_counter()
+        GradientBoostingClassifier(
+            GBMParams(n_estimators=8, max_depth=4)
+        ).fit(x, y)
+        exact_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        GradientBoostingClassifier(
+            GBMParams(n_estimators=8, max_depth=4, max_bins=16)
+        ).fit(x, y)
+        hist_time = time.perf_counter() - t0
+        # Bincount split search beats sort-based search at this size;
+        # generous bound to stay robust under CI load.
+        assert hist_time < exact_time
+
+    def test_hist_thresholds_fall_between_bins(self, data):
+        x, y = data
+        model = GradientBoostingClassifier(
+            GBMParams(n_estimators=2, max_bins=8)
+        ).fit(x, y)
+        for round_ in model._rounds:
+            for tree in round_.trees:
+                stack = [tree.root]
+                while stack:
+                    node = stack.pop()
+                    if node is None or node.is_leaf:
+                        continue
+                    assert node.threshold % 1 == pytest.approx(0.5)
+                    stack.extend((node.left, node.right))
+
+    def test_eval_set_binned_consistently(self, data):
+        x, y = data
+        model = GradientBoostingClassifier(
+            GBMParams(n_estimators=10, max_bins=16, early_stopping_rounds=5)
+        ).fit(x[:500], y[:500], eval_set=(x[500:], y[500:]))
+        assert len(model.eval_history_) >= 1
+        # prediction path re-bins raw features transparently
+        preds = model.predict(x[500:])
+        assert preds.shape == (200,)
+
+    def test_predict_proba_normalised(self, data):
+        x, y = data
+        model = GradientBoostingClassifier(
+            GBMParams(n_estimators=5, max_bins=8)
+        ).fit(x, y)
+        probs = model.predict_proba(x[:50])
+        assert np.allclose(probs.sum(axis=1), 1.0)

@@ -1,0 +1,89 @@
+"""Tests for the second-order regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.boosting.tree import RegressionTree, TreeParams
+
+
+def grad_hess_for_regression(y, pred):
+    """Squared-loss statistics: g = pred − y, h = 1."""
+    return pred - y, np.ones_like(y)
+
+
+class TestLeafValues:
+    def test_stump_leaf_value(self):
+        # No splits possible (constant feature) -> single leaf = -G/(H+λ)
+        x = np.zeros((10, 1))
+        g = np.full(10, 2.0)
+        h = np.ones(10)
+        tree = RegressionTree(TreeParams(reg_lambda=1.0)).fit(x, g, h)
+        assert tree.num_leaves() == 1
+        assert tree.predict(x)[0] == pytest.approx(-20.0 / 11.0)
+
+
+class TestSplitting:
+    def test_finds_obvious_split(self):
+        x = np.concatenate([np.zeros(20), np.ones(20)])[:, None].astype(float)
+        y = np.concatenate([np.zeros(20), np.ones(20)])
+        g, h = grad_hess_for_regression(y, np.zeros(40))
+        tree = RegressionTree(TreeParams(max_depth=1)).fit(x, g, h)
+        pred = tree.predict(x)
+        assert pred[:20].mean() < pred[20:].mean()
+        assert tree.num_leaves() == 2
+
+    def test_max_depth_limits_leaves(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        y = rng.normal(size=200)
+        g, h = grad_hess_for_regression(y, np.zeros(200))
+        tree = RegressionTree(TreeParams(max_depth=2)).fit(x, g, h)
+        assert tree.num_leaves() <= 4
+
+    def test_min_child_weight_blocks_small_leaves(self):
+        x = np.array([[0.0], [1.0]])
+        g = np.array([1.0, -1.0])
+        h = np.ones(2)
+        tree = RegressionTree(TreeParams(min_child_weight=5.0)).fit(x, g, h)
+        assert tree.num_leaves() == 1
+
+    def test_gamma_penalises_weak_splits(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(100, 2))
+        y = rng.normal(size=100) * 0.01  # nearly no structure
+        g, h = grad_hess_for_regression(y, np.zeros(100))
+        free = RegressionTree(TreeParams(gamma=0.0)).fit(x, g, h)
+        strict = RegressionTree(TreeParams(gamma=10.0)).fit(x, g, h)
+        assert strict.num_leaves() <= free.num_leaves()
+
+    def test_feature_gains_recorded(self):
+        x = np.concatenate([np.zeros(20), np.ones(20)])[:, None].astype(float)
+        y = np.concatenate([np.zeros(20), np.ones(20)])
+        g, h = grad_hess_for_regression(y, np.zeros(40))
+        tree = RegressionTree(TreeParams()).fit(x, g, h)
+        assert 0 in tree.feature_gains
+        assert tree.feature_gains[0] > 0
+
+    def test_column_subset_respected(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(100, 3))
+        y = (x[:, 0] > 0).astype(float)  # signal only in column 0
+        g, h = grad_hess_for_regression(y, np.zeros(100))
+        tree = RegressionTree(TreeParams()).fit(
+            x, g, h, feature_idx=np.array([1, 2])
+        )
+        assert 0 not in tree.feature_gains
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree(TreeParams()).predict(np.zeros((1, 1)))
+
+    def test_reduces_objective(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(300, 4))
+        y = np.sin(x[:, 0]) + 0.5 * x[:, 1]
+        g, h = grad_hess_for_regression(y, np.zeros(300))
+        tree = RegressionTree(TreeParams(max_depth=4)).fit(x, g, h)
+        residual_before = (y**2).mean()
+        residual_after = ((y - tree.predict(x)) ** 2).mean()
+        assert residual_after < residual_before

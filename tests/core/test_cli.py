@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["build"])
+        assert args.scale == 0.1
+        assert args.output == "rsd15k.jsonl"
+
+    def test_evaluate_model_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--model", "nope"])
+
+    def test_bench_choices(self):
+        args = build_parser().parse_args(["bench", "table1"])
+        assert args.experiment == "table1"
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_build_stats_datacard(self, tmp_path, capsys):
+        out = tmp_path / "ds.jsonl"
+        code = main(["build", "--scale", "0.02", "--output", str(out)])
+        assert code == 0
+        assert out.exists()
+        code = main(["stats", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "posts:" in printed
+        assert "Ideation" in printed
+        card_path = tmp_path / "DATASHEET.md"
+        code = main(["datacard", str(out), "--output", str(card_path)])
+        assert code == 0
+        assert "Dataset card" in card_path.read_text()
+
+    def test_datacard_to_stdout(self, tmp_path, capsys):
+        out = tmp_path / "ds.jsonl"
+        main(["build", "--scale", "0.02", "--output", str(out)])
+        capsys.readouterr()
+        assert main(["datacard", str(out)]) == 0
+        assert "## Composition" in capsys.readouterr().out

@@ -1,0 +1,122 @@
+"""Tests for configuration validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import (
+    AnnotationConfig,
+    CorpusConfig,
+    SplitConfig,
+    WindowConfig,
+)
+from repro.core.errors import ConfigError
+from repro.core.schema import PAPER_NUM_POSTS, PAPER_NUM_USERS
+
+
+class TestCorpusConfig:
+    def test_defaults_match_paper(self):
+        cfg = CorpusConfig()
+        assert cfg.num_users == PAPER_NUM_USERS
+        assert cfg.target_posts == PAPER_NUM_POSTS
+        assert cfg.start.year == 2020
+        assert cfg.end.year == 2021
+
+    def test_label_mix_sums_to_one(self):
+        assert abs(sum(CorpusConfig().label_mix.values()) - 1.0) < 1e-9
+
+    def test_scaled_shrinks_populations(self):
+        cfg = CorpusConfig().scaled(0.1)
+        assert cfg.num_users == round(PAPER_NUM_USERS * 0.1)
+        assert cfg.target_posts == round(PAPER_NUM_POSTS * 0.1)
+        assert cfg.scale == 0.1
+
+    def test_scaled_has_floors(self):
+        cfg = CorpusConfig().scaled(0.001)
+        assert cfg.num_users >= 12
+        assert cfg.target_posts >= 60
+
+    @pytest.mark.parametrize("scale", [0.0, -1.0, 1.5])
+    def test_invalid_scale_rejected(self, scale):
+        with pytest.raises(ConfigError):
+            CorpusConfig().scaled(scale)
+
+    def test_invalid_dates_rejected(self):
+        cfg = CorpusConfig()
+        with pytest.raises(ConfigError):
+            dataclasses.replace(cfg, start=cfg.end, end=cfg.start)
+
+    def test_bad_label_mix_rejected(self):
+        cfg = CorpusConfig()
+        mix = dict(cfg.label_mix)
+        first = next(iter(mix))
+        mix[first] += 0.2
+        with pytest.raises(ConfigError):
+            dataclasses.replace(cfg, label_mix=mix)
+
+    @pytest.mark.parametrize(
+        "field", ["lexical_strength", "hard_fraction", "ambiguity_noise",
+                  "temporal_strength"]
+    )
+    def test_unit_interval_fields_validated(self, field):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(CorpusConfig(), **{field: 1.5})
+
+
+class TestSplitConfig:
+    def test_default_is_80_10_10(self):
+        cfg = SplitConfig()
+        assert (cfg.train, cfg.validation, cfg.test) == (0.8, 0.1, 0.1)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            SplitConfig(train=0.8, validation=0.1, test=0.2)
+
+    def test_fractions_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            SplitConfig(train=1.0, validation=0.0, test=0.0)
+
+
+class TestWindowConfig:
+    def test_stable_version_has_five_elements(self):
+        assert WindowConfig().size == 5
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            WindowConfig(size=0)
+
+    def test_span_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            WindowConfig(max_span_days=-1)
+
+
+class TestAnnotationConfig:
+    def test_defaults_match_protocol(self):
+        cfg = AnnotationConfig()
+        assert cfg.num_annotators == 3
+        assert cfg.num_supervisors == 3
+        assert cfg.training_samples == 100
+        assert cfg.training_accuracy_gate == 0.95
+        assert cfg.daily_quota == 500
+        assert cfg.joint_fraction == 0.30
+        assert cfg.inspection_fraction == 0.10
+        assert cfg.inspection_accuracy_gate == 0.85
+
+    def test_voting_needs_three_annotators(self):
+        with pytest.raises(ConfigError):
+            AnnotationConfig(num_annotators=2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"joint_fraction": 0.0},
+            {"joint_fraction": 1.0},
+            {"annotator_accuracy": 0.0},
+            {"uncertainty_rate": 1.0},
+            {"training_accuracy_gate": 0.0},
+            {"inspection_accuracy_gate": 1.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            AnnotationConfig(**kwargs)

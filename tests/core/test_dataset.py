@@ -1,0 +1,115 @@
+"""Tests for the RSD15K dataset object."""
+
+import pytest
+
+from repro.core.config import SplitConfig, WindowConfig
+from repro.core.dataset import RSD15K
+from repro.core.errors import DatasetError
+from repro.core.schema import RiskLevel
+
+
+class TestStatistics:
+    def test_counts(self, small_dataset):
+        assert small_dataset.num_posts == len(small_dataset.posts)
+        assert small_dataset.num_users == len(
+            {p.author for p in small_dataset.posts}
+        )
+
+    def test_label_distribution_total(self, small_dataset):
+        assert small_dataset.label_distribution().total == (
+            small_dataset.num_posts
+        )
+
+    def test_posts_per_user_sums(self, small_dataset):
+        counts = small_dataset.posts_per_user()
+        assert sum(counts.values()) == small_dataset.num_posts
+
+    def test_most_active_sorted(self, small_dataset):
+        top = small_dataset.most_active_users(5)
+        counts = small_dataset.posts_per_user()
+        volumes = [counts[a] for a in top]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_histories_chronological(self, small_dataset):
+        for history in small_dataset.histories().values():
+            times = [p.created_utc for p in history.posts]
+            assert times == sorted(times)
+
+    def test_missing_label_rejected(self, small_dataset):
+        with pytest.raises(DatasetError):
+            RSD15K(posts=small_dataset.posts, labels={})
+
+
+class TestWindows:
+    def test_window_size_bounded(self, small_dataset):
+        windows = small_dataset.windows(WindowConfig(size=5))
+        assert all(1 <= len(w) <= 5 for w in windows)
+
+    def test_window_labels_match_latest(self, small_dataset):
+        windows = small_dataset.windows()
+        for window in windows[:40]:
+            assert window.label == small_dataset.labels[window.latest.post_id]
+
+    def test_one_window_per_user(self, small_dataset):
+        windows = small_dataset.windows()
+        assert len({w.author for w in windows}) == len(windows)
+
+
+class TestSplits:
+    def test_user_disjoint(self, small_dataset):
+        splits = small_dataset.splits()
+        splits.verify_disjoint()
+
+    def test_split_sizes_cover_users(self, small_dataset):
+        splits = small_dataset.splits()
+        assert sum(splits.sizes) == len(small_dataset.windows())
+
+    def test_custom_split_config(self, small_dataset):
+        splits = small_dataset.splits(
+            split_config=SplitConfig(train=0.5, validation=0.25, test=0.25)
+        )
+        train, val, test = splits.sizes
+        assert train < 0.62 * sum(splits.sizes)
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, small_dataset, tmp_path):
+        path = tmp_path / "rsd.jsonl"
+        small_dataset.to_jsonl(path)
+        loaded = RSD15K.from_jsonl(path, kappa=small_dataset.kappa)
+        assert loaded.num_posts == small_dataset.num_posts
+        assert loaded.num_users == small_dataset.num_users
+        assert loaded.label_distribution().counts == (
+            small_dataset.label_distribution().counts
+        )
+
+    def test_roundtrip_preserves_labels(self, small_dataset, tmp_path):
+        path = tmp_path / "rsd.jsonl"
+        small_dataset.to_jsonl(path)
+        loaded = RSD15K.from_jsonl(path)
+        for post in loaded.posts[:20]:
+            assert loaded.labels[post.post_id] == (
+                small_dataset.labels[post.post_id]
+            )
+
+    def test_roundtrip_preserves_timestamps(self, small_dataset, tmp_path):
+        path = tmp_path / "rsd.jsonl"
+        small_dataset.to_jsonl(path)
+        loaded = RSD15K.from_jsonl(path)
+        original = {p.post_id: p.created_utc for p in small_dataset.posts}
+        for post in loaded.posts[:20]:
+            assert post.created_utc == original[post.post_id]
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(DatasetError):
+            RSD15K.from_jsonl(path)
+
+    def test_labels_use_short_codes(self, small_dataset, tmp_path):
+        import json
+
+        path = tmp_path / "rsd.jsonl"
+        small_dataset.to_jsonl(path)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["label"] in {"IN", "ID", "BR", "AT"}

@@ -1,0 +1,74 @@
+"""Tests for risk-evolution analytics."""
+
+import numpy as np
+import pytest
+
+from repro.core.evolution import (
+    analyse,
+    empirical_transition_matrix,
+    transition_counts,
+    user_evolution,
+)
+from repro.core.schema import RiskLevel
+
+
+class TestUserEvolution:
+    def test_levels_match_history_length(self, small_dataset):
+        author = small_dataset.most_active_users(1)[0]
+        evolution = user_evolution(small_dataset, author)
+        history = small_dataset.histories()[author]
+        assert len(evolution.levels) == len(history.posts)
+
+    def test_peak_and_final_consistent(self, small_dataset):
+        for author in small_dataset.most_active_users(5):
+            evolution = user_evolution(small_dataset, author)
+            assert evolution.peak == max(evolution.levels)
+            assert evolution.final == evolution.levels[-1]
+            assert evolution.peak >= evolution.final or True
+
+    def test_escalations_are_upward(self, small_dataset):
+        for author in small_dataset.most_active_users(10):
+            evolution = user_evolution(small_dataset, author)
+            for event in evolution.escalations:
+                assert event.to_level > event.from_level
+                assert event.severity_jump >= 1
+                assert event.gap_hours > 0
+
+    def test_monotonic_decline_flag(self, small_dataset):
+        for author in small_dataset.most_active_users(5):
+            evolution = user_evolution(small_dataset, author)
+            assert evolution.monotonic_decline == (
+                not evolution.ever_escalated
+            )
+
+
+class TestTransitions:
+    def test_counts_total(self, small_dataset):
+        counts = transition_counts(small_dataset)
+        expected = sum(
+            len(h.posts) - 1
+            for h in small_dataset.histories().values()
+        )
+        assert counts.sum() == expected
+
+    def test_matrix_rows_stochastic_or_zero(self, small_dataset):
+        probs = empirical_transition_matrix(small_dataset)
+        sums = probs.sum(axis=1)
+        for row_sum in sums:
+            assert row_sum == pytest.approx(1.0, abs=1e-9) or row_sum == 0.0
+
+    def test_persistence_dominates(self, small_dataset):
+        """The latent chain is lazy, so observed self-transitions dominate."""
+        probs = empirical_transition_matrix(small_dataset)
+        diagonal = np.diag(probs)
+        assert (diagonal[:2] > 0.3).all()  # IN/ID well-populated rows
+
+
+class TestAnalyse:
+    def test_report_fields(self, small_dataset):
+        report = analyse(small_dataset)
+        assert report.num_users == small_dataset.num_users
+        assert 0.0 <= report.escalation_prevalence <= 1.0
+        assert report.transition_matrix.shape == (4, 4)
+        if report.users_with_escalation:
+            assert report.median_escalation_gap_hours > 0

@@ -1,0 +1,54 @@
+"""Tests for deterministic RNG stream management."""
+
+from repro.core.rng import DEFAULT_SEED, SeedSequenceRegistry, derive_seed, stream
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "corpus") == derive_seed(42, "corpus")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(42, "corpus") != derive_seed(42, "model")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "corpus") != derive_seed(2, "corpus")
+
+    def test_range_is_64_bit(self):
+        assert 0 <= derive_seed(0, "x") < 2**64
+
+
+class TestStream:
+    def test_same_stream_same_draws(self):
+        a = stream(7, "alpha").random(5)
+        b = stream(7, "alpha").random(5)
+        assert (a == b).all()
+
+    def test_different_names_different_draws(self):
+        a = stream(7, "alpha").random(5)
+        b = stream(7, "beta").random(5)
+        assert not (a == b).all()
+
+
+class TestRegistry:
+    def test_get_caches_generator(self):
+        reg = SeedSequenceRegistry(3)
+        g1 = reg.get("x")
+        g1.random(10)  # consume
+        assert reg.get("x") is g1
+
+    def test_fresh_resets_stream(self):
+        reg = SeedSequenceRegistry(3)
+        first = reg.get("x").random(3)
+        second = reg.fresh("x").random(3)
+        assert (first == second).all()
+
+    def test_spawn_independent(self):
+        reg = SeedSequenceRegistry(3)
+        child = reg.spawn("child")
+        assert child.seed != reg.seed
+        a = reg.get("x").random(3)
+        b = child.get("x").random(3)
+        assert not (a == b).all()
+
+    def test_default_seed_used(self):
+        assert SeedSequenceRegistry().seed == DEFAULT_SEED

@@ -1,0 +1,47 @@
+"""Property-based tests of corpus-level invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CorpusConfig
+from repro.core.schema import ALL_LEVELS
+from repro.corpus.users import (
+    risk_transition_matrix,
+    sample_posts_per_user,
+)
+
+MIX = CorpusConfig().label_mix
+
+
+class TestPostsPerUserProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(5, 120),
+        st.integers(2, 20),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_total_and_bounds(self, users, avg, seed):
+        rng = np.random.default_rng(seed)
+        target = users * avg
+        counts = sample_posts_per_user(rng, users, target)
+        assert counts.sum() == target
+        assert counts.min() >= 1
+        assert counts.max() <= 200
+
+
+class TestTransitionMatrixProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.floats(0.01, 1.0), min_size=4, max_size=4
+        )
+    )
+    def test_any_mix_is_stationary(self, raw):
+        total = sum(raw)
+        mix = {lv: w / total for lv, w in zip(ALL_LEVELS, raw)}
+        kernel = risk_transition_matrix(mix)
+        pi = np.array([mix[lv] for lv in ALL_LEVELS])
+        assert np.allclose(pi @ kernel, pi, atol=1e-12)
+        assert np.allclose(kernel.sum(axis=1), 1.0)
+        assert (kernel >= 0).all()

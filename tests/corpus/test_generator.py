@@ -1,0 +1,89 @@
+"""Tests for the synthetic corpus builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CorpusConfig
+from repro.core.schema import ALL_LEVELS
+from repro.corpus.generator import SUBREDDIT, CorpusGenerator, generate_corpus
+
+
+class TestGenerate:
+    def test_annotated_volume_near_target(self, small_corpus):
+        target = small_corpus.config.target_posts
+        got = len(small_corpus.annotated_posts)
+        # dirt injection adds a few percent of duplicates
+        assert target <= got <= int(target * 1.1)
+
+    def test_annotated_user_count(self, small_corpus):
+        authors = {p.author for p in small_corpus.annotated_posts}
+        assert authors == small_corpus.annotated_authors
+        assert len(authors) == small_corpus.config.num_users
+
+    def test_label_mix_tracks_table1(self, small_corpus):
+        posts = [
+            p for p in small_corpus.annotated_posts if p.oracle_label is not None
+        ]
+        for level in ALL_LEVELS:
+            frac = np.mean([p.oracle_label == level for p in posts])
+            assert abs(frac - small_corpus.config.label_mix[level]) < 0.08
+
+    def test_timestamps_inside_crawl_window(self, small_corpus):
+        cfg = small_corpus.config
+        for post in small_corpus.raw_posts:
+            assert cfg.start <= post.created_utc <= cfg.end
+
+    def test_raw_posts_chronological(self, small_corpus):
+        times = [p.created_utc for p in small_corpus.raw_posts]
+        assert times == sorted(times)
+
+    def test_background_pool_exists(self, small_corpus):
+        assert len(small_corpus.background_posts) > len(
+            small_corpus.annotated_posts
+        )
+
+    def test_offtopic_dirt_present(self, small_corpus):
+        offtopic = [p for p in small_corpus.raw_posts if p.oracle_label is None]
+        assert offtopic
+
+    def test_duplicate_dirt_present(self, small_corpus):
+        texts = [p.body for p in small_corpus.annotated_posts]
+        assert len(set(texts)) < len(texts)
+
+    def test_all_in_one_subreddit(self, small_corpus):
+        assert {p.subreddit for p in small_corpus.raw_posts} == {SUBREDDIT}
+
+    def test_reproducible(self):
+        a = generate_corpus(scale=0.02)
+        b = generate_corpus(scale=0.02)
+        assert [p.body for p in a.raw_posts[:50]] == [
+            p.body for p in b.raw_posts[:50]
+        ]
+
+    def test_seed_changes_output(self):
+        a = generate_corpus(scale=0.02)
+        b = generate_corpus(scale=0.02, seed=99)
+        assert [p.body for p in a.raw_posts[:50]] != [
+            p.body for p in b.raw_posts[:50]
+        ]
+
+    def test_users_histories_strictly_increasing(self, small_corpus):
+        by_author = {}
+        for p in small_corpus.annotated_posts:
+            by_author.setdefault(p.author, []).append(p.created_utc)
+        for times in by_author.values():
+            assert all(a < b for a, b in zip(times, times[1:]))
+
+
+class TestGenerateCorpusHelper:
+    def test_overrides_forwarded(self):
+        corpus = generate_corpus(scale=0.02, lexical_strength=0.9)
+        assert corpus.config.lexical_strength == 0.9
+
+    def test_scale_one_uses_paper_sizes(self):
+        gen = CorpusGenerator(CorpusConfig())
+        assert gen.config.num_users == 1265
+
+    def test_bad_override_raises(self):
+        with pytest.raises(TypeError):
+            generate_corpus(scale=0.02, not_a_field=1)

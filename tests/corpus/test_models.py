@@ -1,0 +1,77 @@
+"""Tests for corpus record types."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.corpus.models import RedditPost, UserHistory, utc_from_timestamp
+
+T0 = datetime(2020, 5, 1, 12, 0, tzinfo=timezone.utc)
+
+
+def make_post(pid="p1", title="Title", body="Body", when=T0):
+    return RedditPost(
+        post_id=pid, author="a", subreddit="s", title=title, body=body,
+        created_utc=when,
+    )
+
+
+class TestRedditPost:
+    def test_text_joins_title_and_body(self):
+        assert make_post().text == "Title\nBody"
+
+    def test_text_title_only(self):
+        assert make_post(body="").text == "Title"
+
+    def test_text_body_only(self):
+        assert make_post(title="").text == "Body"
+
+    def test_timestamp(self):
+        assert make_post().timestamp == T0.timestamp()
+
+    def test_with_body_is_copy(self):
+        post = make_post()
+        new = post.with_body("other")
+        assert new.body == "other"
+        assert post.body == "Body"
+        assert new.post_id == post.post_id
+
+    def test_with_author_is_copy(self):
+        post = make_post()
+        new = post.with_author("anon")
+        assert new.author == "anon"
+        assert post.author == "a"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_post().body = "mutate"
+
+
+class TestUserHistory:
+    def test_add_keeps_sorted(self):
+        history = UserHistory("a")
+        later = make_post("p2", when=T0.replace(day=9))
+        earlier = make_post("p1")
+        history.add(later)
+        history.add(earlier)
+        assert [p.post_id for p in history.posts] == ["p1", "p2"]
+
+    def test_latest(self):
+        history = UserHistory("a", [make_post("p1")])
+        history.add(make_post("p2", when=T0.replace(day=20)))
+        assert history.latest.post_id == "p2"
+
+    def test_latest_empty_raises(self):
+        with pytest.raises(ValueError):
+            _ = UserHistory("a").latest
+
+    def test_len(self):
+        assert len(UserHistory("a", [make_post()])) == 1
+
+
+class TestHelpers:
+    def test_utc_from_timestamp_roundtrip(self):
+        ts = T0.timestamp()
+        back = utc_from_timestamp(ts)
+        assert back == T0
+        assert back.tzinfo is not None

@@ -1,0 +1,142 @@
+"""Tests for calibration diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.calibration import (
+    apply_temperature,
+    brier_score,
+    calibration_report,
+    expected_calibration_error,
+    maximum_calibration_error,
+    reliability_bins,
+    temperature_scale,
+)
+
+
+def perfect_probs(n=400, classes=4, seed=0):
+    """Synthetic perfectly calibrated predictions."""
+    rng = np.random.default_rng(seed)
+    probs = rng.dirichlet(np.ones(classes), size=n)
+    targets = np.array([rng.choice(classes, p=p) for p in probs])
+    return probs, targets
+
+
+class TestValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            brier_score(np.ones(4), np.zeros(4, dtype=int))
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ValueError):
+            brier_score(np.ones((3, 4)), np.zeros(3, dtype=int))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            brier_score(np.zeros((0, 4)), np.zeros(0, dtype=int))
+
+
+class TestECE:
+    def test_perfectly_calibrated_low_ece(self):
+        probs, targets = perfect_probs(n=4000)
+        assert expected_calibration_error(probs, targets) < 0.08
+
+    def test_overconfident_high_ece(self):
+        n = 200
+        probs = np.tile([0.97, 0.01, 0.01, 0.01], (n, 1))
+        rng = np.random.default_rng(1)
+        targets = rng.choice(4, size=n)  # accuracy only ~25%
+        assert expected_calibration_error(probs, targets) > 0.5
+
+    def test_oracle_ece_zero(self):
+        probs = np.eye(4)[np.array([0, 1, 2, 3] * 10)]
+        targets = np.array([0, 1, 2, 3] * 10)
+        assert expected_calibration_error(probs, targets) == pytest.approx(0.0)
+
+    def test_mce_at_least_ece(self):
+        probs, targets = perfect_probs(n=500, seed=3)
+        assert maximum_calibration_error(probs, targets) >= (
+            expected_calibration_error(probs, targets) - 1e-12
+        )
+
+
+class TestBins:
+    def test_counts_cover_samples(self):
+        probs, targets = perfect_probs(n=300)
+        bins = reliability_bins(probs, targets)
+        assert sum(b.count for b in bins) == 300
+
+    def test_bin_edges(self):
+        probs, targets = perfect_probs(n=50)
+        bins = reliability_bins(probs, targets, num_bins=5)
+        assert len(bins) == 5
+        assert bins[0].lower == 0.0
+        assert bins[-1].upper == 1.0
+
+
+class TestBrier:
+    def test_oracle_zero(self):
+        probs = np.eye(4)[np.array([1, 2])]
+        assert brier_score(probs, np.array([1, 2])) == pytest.approx(0.0)
+
+    def test_uniform_value(self):
+        probs = np.full((10, 4), 0.25)
+        targets = np.zeros(10, dtype=int)
+        # (0.75² + 3·0.25²) = 0.75
+        assert brier_score(probs, targets) == pytest.approx(0.75)
+
+
+class TestTemperature:
+    def test_overconfident_model_wants_t_above_one(self):
+        n = 400
+        rng = np.random.default_rng(2)
+        targets = rng.choice(4, size=n)
+        # confident but only 40% accurate
+        correct = rng.random(n) < 0.4
+        probs = np.full((n, 4), 0.02)
+        for i in range(n):
+            winner = targets[i] if correct[i] else (targets[i] + 1) % 4
+            probs[i, winner] = 0.94
+        t = temperature_scale(probs, targets)
+        assert t > 1.0
+
+    def test_apply_temperature_normalised(self):
+        probs, _ = perfect_probs(n=20)
+        scaled = apply_temperature(probs, 2.0)
+        assert np.allclose(scaled.sum(axis=1), 1.0)
+
+    def test_high_temperature_flattens(self):
+        probs = np.array([[0.9, 0.05, 0.03, 0.02]])
+        hot = apply_temperature(probs, 10.0)
+        assert hot.max() < probs.max()
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            apply_temperature(np.full((1, 4), 0.25), 0.0)
+
+    def test_scaling_improves_ece_of_overconfident_model(self):
+        n = 600
+        rng = np.random.default_rng(5)
+        targets = rng.choice(4, size=n)
+        correct = rng.random(n) < 0.5
+        probs = np.full((n, 4), 1e-3)
+        for i in range(n):
+            winner = targets[i] if correct[i] else (targets[i] + 1) % 4
+            probs[i, winner] = 1.0 - 3e-3
+        t = temperature_scale(probs, targets)
+        before = expected_calibration_error(probs, targets)
+        after = expected_calibration_error(
+            apply_temperature(probs, t), targets
+        )
+        assert after < before
+
+
+class TestReport:
+    def test_fields_consistent(self):
+        probs, targets = perfect_probs(n=200, seed=7)
+        report = calibration_report(probs, targets)
+        assert report.ece == pytest.approx(
+            expected_calibration_error(probs, targets)
+        )
+        assert report.mce >= report.ece - 1e-12
+        assert len(report.bins) == 10

@@ -1,0 +1,77 @@
+"""Tests for the explanation module."""
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBMParams
+from repro.core.errors import NotFittedError
+from repro.core.schema import RiskLevel
+from repro.eval.explain import RiskExplainer
+from repro.models import XGBoostBaseline
+from repro.models.logistic import LogisticBaseline
+
+
+@pytest.fixture(scope="module")
+def fitted_model(small_splits):
+    model = XGBoostBaseline(
+        params=GBMParams(n_estimators=8, max_depth=3), max_tfidf_features=80
+    )
+    model.fit(small_splits.train, small_splits.validation)
+    return model
+
+
+@pytest.fixture(scope="module")
+def explainer(fitted_model, small_splits):
+    return RiskExplainer(fitted_model, small_splits.train)
+
+
+class TestGlobal:
+    def test_importances_sorted(self, explainer):
+        top = explainer.global_importances(10)
+        weights = [w for _, w in top]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_class_profiles_cover_levels(self, explainer):
+        profiles = explainer.class_profiles(k=5)
+        assert set(profiles) == set(RiskLevel)
+        for features in profiles.values():
+            assert len(features) <= 5
+
+    def test_profile_zscores_descending(self, explainer):
+        profile = explainer.class_profile(RiskLevel.IDEATION, k=6)
+        scores = [z for _, z in profile]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestLocal:
+    def test_explain_returns_k(self, explainer, small_splits):
+        contributions = explainer.explain(small_splits.test[0], k=6)
+        assert len(contributions) == 6
+        weights = [c.weight for c in contributions]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_render_readable(self, explainer, small_splits):
+        text = explainer.render(small_splits.test[0], k=4)
+        assert "assessment rationale" in text
+        assert text.count("z=") == 4
+
+    def test_values_finite(self, explainer, small_splits):
+        for c in explainer.explain(small_splits.test[1], k=10):
+            assert np.isfinite(c.value)
+            assert np.isfinite(c.z_score)
+
+
+class TestLinearModelSupport:
+    def test_logreg_explainer(self, small_splits):
+        model = LogisticBaseline(max_tfidf_features=60)
+        model.fit(small_splits.train, small_splits.validation)
+        explainer = RiskExplainer(model, small_splits.train)
+        top = explainer.global_importances(5)
+        assert len(top) == 5
+        assert abs(sum(w for _, w in explainer.global_importances(10**6)) - 1.0) < 1e-6
+
+
+class TestErrors:
+    def test_unfitted_model_rejected(self, small_splits):
+        with pytest.raises(NotFittedError):
+            RiskExplainer(XGBoostBaseline(), small_splits.train)

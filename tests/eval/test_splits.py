@@ -1,0 +1,101 @@
+"""Tests for user-disjoint splits."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SplitConfig
+from repro.core.errors import SplitError
+from repro.core.schema import RiskLevel
+from repro.corpus.models import RedditPost
+from repro.eval.splits import WindowSplits, split_users, split_windows
+from repro.temporal.windows import PostWindow
+
+T0 = datetime(2020, 1, 1, tzinfo=timezone.utc)
+
+
+def make_window(author, i=0):
+    post = RedditPost(
+        post_id=f"{author}-{i}", author=author, subreddit="s", title="",
+        body="b", created_utc=T0 + timedelta(days=i),
+        oracle_label=RiskLevel.IDEATION,
+    )
+    return PostWindow(author=author, posts=(post,), label=RiskLevel.IDEATION)
+
+
+class TestSplitUsers:
+    def test_partitions_everyone(self):
+        users = [f"u{i}" for i in range(100)]
+        train, val, test = split_users(users)
+        assert sorted(train + val + test) == sorted(users)
+
+    def test_ratio_roughly_80_10_10(self):
+        users = [f"u{i}" for i in range(200)]
+        train, val, test = split_users(users)
+        assert abs(len(train) - 160) <= 2
+        assert abs(len(val) - 20) <= 2
+
+    def test_deterministic_given_seed(self):
+        users = [f"u{i}" for i in range(50)]
+        assert split_users(users) == split_users(users)
+
+    def test_seed_changes_assignment(self):
+        users = [f"u{i}" for i in range(50)]
+        a = split_users(users, SplitConfig(seed=1))
+        b = split_users(users, SplitConfig(seed=2))
+        assert a != b
+
+    def test_too_few_users_rejected(self):
+        with pytest.raises(SplitError):
+            split_users(["a", "b"])
+
+    def test_minimum_viable(self):
+        train, val, test = split_users(["a", "b", "c"])
+        assert train and val and test
+
+
+class TestSplitWindows:
+    def test_disjoint_verified(self):
+        windows = [make_window(f"u{i}") for i in range(30)]
+        splits = split_windows(windows)
+        splits.verify_disjoint()
+
+    def test_all_windows_kept(self):
+        windows = [make_window(f"u{i % 10}", i) for i in range(40)]
+        splits = split_windows(windows)
+        assert sum(splits.sizes) == 40
+
+    def test_same_user_stays_together(self):
+        windows = [make_window("solo", i) for i in range(5)] + [
+            make_window(f"u{i}") for i in range(20)
+        ]
+        splits = split_windows(windows)
+        locations = [
+            name
+            for name, part in (
+                ("train", splits.train),
+                ("val", splits.validation),
+                ("test", splits.test),
+            )
+            if any(w.author == "solo" for w in part)
+        ]
+        assert len(locations) == 1
+
+    def test_verify_disjoint_catches_leak(self):
+        leaky = WindowSplits(
+            train=[make_window("x")], validation=[make_window("x")],
+            test=[make_window("y")],
+        )
+        with pytest.raises(SplitError):
+            leaky.verify_disjoint()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(10, 80))
+    def test_disjointness_property(self, n_users):
+        windows = [make_window(f"u{i}") for i in range(n_users)]
+        splits = split_windows(windows)
+        train = {w.author for w in splits.train}
+        test = {w.author for w in splits.test}
+        assert not train & test

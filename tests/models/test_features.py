@@ -1,0 +1,66 @@
+"""Tests for the multi-level feature framework."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import NotFittedError
+from repro.models.features import FeatureFramework
+
+
+@pytest.fixture(scope="module")
+def windows(small_splits):
+    return small_splits.train[:60]
+
+
+@pytest.fixture(scope="module")
+def framework(windows):
+    return FeatureFramework(max_tfidf_features=100).fit(windows)
+
+
+# re-export session fixtures into module scope
+@pytest.fixture(scope="module")
+def small_splits(small_dataset):
+    return small_dataset.splits()
+
+
+class TestFramework:
+    def test_transform_shape(self, framework, windows):
+        matrix = framework.transform(windows)
+        assert matrix.shape[0] == len(windows)
+        assert matrix.shape[1] == len(framework.feature_names)
+
+    def test_dimension_slices_partition_columns(self, framework, windows):
+        matrix = framework.transform(windows)
+        slices = framework.dimension_slices()
+        covered = sum(s.stop - s.start for s in slices.values())
+        assert covered == matrix.shape[1]
+        assert slices["time"].start == 0
+
+    def test_feature_names_prefixes(self, framework):
+        names = framework.feature_names
+        assert any(n.startswith("time_") for n in names)
+        assert any(n.startswith("seq_") for n in names)
+        assert any(n.startswith("stat_") for n in names)
+        assert any(n.startswith("tfidf_") for n in names)
+
+    def test_matrix_is_finite(self, framework, windows):
+        assert np.isfinite(framework.transform(windows)).all()
+
+    def test_unfitted_raises(self, windows):
+        fresh = FeatureFramework()
+        with pytest.raises(NotFittedError):
+            fresh.transform(windows)
+        with pytest.raises(NotFittedError):
+            _ = fresh.feature_names
+
+    def test_transform_unseen_windows(self, framework, small_splits):
+        unseen = small_splits.test[:10]
+        matrix = framework.transform(unseen)
+        assert matrix.shape[0] == len(unseen)
+
+    def test_sequence_features_capture_length_delta(self, framework, windows):
+        matrix = framework.transform(windows)
+        names = framework.feature_names
+        idx = names.index("seq_len_delta")
+        # deltas vary across users (not a constant column)
+        assert matrix[:, idx].std() > 0

@@ -1,0 +1,68 @@
+"""Tests for the logistic-regression extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.models.logistic import (
+    LogisticBaseline,
+    MultinomialLogisticRegression,
+)
+from repro.models.registry import create_model
+
+
+class TestCore:
+    def test_learns_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(400, 6))
+        y = (x[:, 0] > 0).astype(int) + 2 * (x[:, 1] > 0).astype(int)
+        model = MultinomialLogisticRegression(num_classes=4).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_loss_monotone_nonincreasing(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(200, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = MultinomialLogisticRegression(num_classes=4).fit(x, y)
+        losses = np.array(model.loss_history)
+        assert (np.diff(losses) <= 1e-9).all()
+
+    def test_probabilities_normalised(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(50, 3))
+        y = rng.integers(0, 4, size=50)
+        model = MultinomialLogisticRegression(num_classes=4).fit(x, y)
+        probs = model.predict_proba(x)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_l2_shrinks_weights(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(150, 4))
+        y = (x[:, 0] > 0).astype(int)
+        loose = MultinomialLogisticRegression(num_classes=2, l2=1e-6).fit(x, y)
+        tight = MultinomialLogisticRegression(num_classes=2, l2=1.0).fit(x, y)
+        assert np.abs(tight.weights[:-1]).sum() < np.abs(
+            loose.weights[:-1]
+        ).sum()
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MultinomialLogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_constant_feature_handled(self):
+        x = np.hstack([np.ones((60, 1)), np.random.default_rng(4).normal(size=(60, 2))])
+        y = (x[:, 1] > 0).astype(int)
+        model = MultinomialLogisticRegression(num_classes=2).fit(x, y)
+        assert np.isfinite(model.predict_proba(x)).all()
+
+
+class TestBaselineWrapper:
+    def test_registered(self):
+        assert create_model("logreg").name == "LogReg"
+
+    def test_fit_predict(self, small_splits):
+        model = LogisticBaseline(max_tfidf_features=60)
+        model.fit(small_splits.train, small_splits.validation)
+        preds = model.predict(small_splits.test)
+        assert ((preds >= 0) & (preds <= 3)).all()
+        probs = model.predict_proba(small_splits.test)
+        assert np.allclose(probs.sum(axis=1), 1.0)

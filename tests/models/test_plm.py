@@ -1,0 +1,89 @@
+"""Tests for MLM pretraining plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.models.plm import PLMConfig, mask_tokens, pretrain_mlm
+from repro.nn import IGNORE_INDEX, TransformerEncoder
+from repro.text.vocab import Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary([f"w{i}" for i in range(50)])
+
+
+class TestPLMConfig:
+    def test_base_smaller_than_large(self):
+        base, large = PLMConfig.base(), PLMConfig.large()
+        assert base.dim < large.dim
+        assert base.num_layers < large.num_layers
+
+
+class TestMaskTokens:
+    def test_targets_only_on_selected(self, vocab, rng):
+        ids = np.full((4, 20), 7, dtype=np.int64)
+        mask = np.ones((4, 20))
+        inputs, targets = mask_tokens(ids, mask, vocab, rng)
+        selected = targets != IGNORE_INDEX
+        assert selected.any()
+        assert (targets[selected] == 7).all()
+        # Non-selected positions keep original inputs.
+        assert (inputs[~selected] == 7).all()
+
+    def test_padding_never_selected(self, vocab, rng):
+        ids = np.full((2, 10), 7, dtype=np.int64)
+        mask = np.zeros((2, 10))
+        mask[:, :3] = 1.0
+        _, targets = mask_tokens(ids, mask, vocab, rng)
+        assert (targets[:, 3:] == IGNORE_INDEX).all()
+
+    def test_masking_rate_near_15pct(self, vocab, rng):
+        ids = np.full((50, 40), 7, dtype=np.int64)
+        mask = np.ones((50, 40))
+        _, targets = mask_tokens(ids, mask, vocab, rng)
+        rate = (targets != IGNORE_INDEX).mean()
+        assert 0.10 < rate < 0.20
+
+    def test_mask_token_dominates_corruptions(self, vocab, rng):
+        ids = np.full((50, 40), 7, dtype=np.int64)
+        mask = np.ones((50, 40))
+        inputs, targets = mask_tokens(ids, mask, vocab, rng)
+        selected = targets != IGNORE_INDEX
+        masked = (inputs == vocab.mask_id) & selected
+        assert masked.sum() / selected.sum() > 0.6
+
+    def test_at_least_one_target_guaranteed(self, vocab):
+        strict_rng = np.random.default_rng(0)
+        ids = np.full((1, 2), 7, dtype=np.int64)
+        mask = np.ones((1, 2))
+        for _ in range(20):
+            _, targets = mask_tokens(
+                ids, mask, vocab, strict_rng, mlm_probability=0.0001
+            )
+            assert (targets != IGNORE_INDEX).any()
+
+    def test_all_padding_rejected(self, vocab, rng):
+        with pytest.raises(ValueError):
+            mask_tokens(np.zeros((1, 3), dtype=np.int64), np.zeros((1, 3)),
+                        vocab, rng)
+
+
+class TestPretrainMLM:
+    def test_loss_decreases(self, vocab, rng):
+        encoder = TransformerEncoder(
+            len(vocab.tokens()), 32, 1, 2, 24, rng, dropout=0.0
+        )
+        data_rng = np.random.default_rng(1)
+        # highly regular sequences are learnable quickly
+        sequences = [[5 + (i % 10)] * 12 for i in range(60)]
+        result = pretrain_mlm(
+            encoder, vocab, sequences, steps=40, batch_size=8, lr=3e-3
+        )
+        assert len(result.losses) == 40
+        assert result.losses[-1] < result.losses[0]
+
+    def test_empty_corpus_rejected(self, vocab, rng):
+        encoder = TransformerEncoder(len(vocab.tokens()), 16, 1, 2, 8, rng)
+        with pytest.raises(ValueError):
+            pretrain_mlm(encoder, vocab, [], steps=1)

@@ -1,0 +1,51 @@
+"""Tests for BiLSTM with pretrained SGNS embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.models import TimeAwareBiLSTM, TrainerConfig
+from repro.text.embeddings import SGNSConfig, train_embeddings
+
+TINY = TrainerConfig(epochs=2, batch_size=8)
+
+
+@pytest.fixture(scope="module")
+def embeddings(small_dataset):
+    texts = small_dataset.pretrain_texts[:400]
+    return train_embeddings(
+        texts, config=SGNSConfig(dim=16, epochs=1, seed=0)
+    )
+
+
+class TestPretrainedInit:
+    def test_embedding_table_seeded(self, small_dataset, embeddings):
+        splits = small_dataset.splits()
+        model = TimeAwareBiLSTM(
+            trainer=TINY, embed_dim=16, hidden_dim=8,
+            pretrained_embeddings=embeddings,
+        )
+        model.fit(splits.train[:20], None)
+        # vocabulary comes from the embeddings, not the training windows
+        assert model.pipeline.vocab is embeddings.vocab
+        # pad row forced to zero
+        pad = model.pipeline.vocab.pad_id
+        assert np.allclose(model.network.embed.weight.data[pad], 0.0)
+
+    def test_dim_mismatch_rejected(self, small_dataset, embeddings):
+        splits = small_dataset.splits()
+        model = TimeAwareBiLSTM(
+            trainer=TINY, embed_dim=32, hidden_dim=8,
+            pretrained_embeddings=embeddings,  # dim 16 != 32
+        )
+        with pytest.raises(ValueError):
+            model.fit(splits.train[:20], None)
+
+    def test_predictions_well_formed(self, small_dataset, embeddings):
+        splits = small_dataset.splits()
+        model = TimeAwareBiLSTM(
+            trainer=TINY, embed_dim=16, hidden_dim=8,
+            pretrained_embeddings=embeddings,
+        )
+        model.fit(splits.train[:30], splits.validation[:8])
+        preds = model.predict(splits.test[:8])
+        assert ((preds >= 0) & (preds <= 3)).all()

@@ -1,0 +1,42 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import normal, orthogonal, xavier_uniform
+
+
+class TestXavier:
+    def test_bounds(self, rng):
+        w = xavier_uniform(rng, 30, 40)
+        limit = np.sqrt(6.0 / 70)
+        assert w.shape == (30, 40)
+        assert np.abs(w).max() <= limit
+
+    def test_custom_shape(self, rng):
+        w = xavier_uniform(rng, 10, 10, shape=(2, 10, 10))
+        assert w.shape == (2, 10, 10)
+
+
+class TestNormal:
+    def test_std(self, rng):
+        w = normal(rng, (200, 200), std=0.02)
+        assert abs(w.std() - 0.02) < 0.002
+        assert abs(w.mean()) < 0.002
+
+
+class TestOrthogonal:
+    def test_square_is_orthogonal(self, rng):
+        q = orthogonal(rng, (16, 16))
+        assert np.allclose(q @ q.T, np.eye(16), atol=1e-10)
+
+    @pytest.mark.parametrize("shape", [(8, 20), (20, 8)])
+    def test_rectangular_shapes(self, rng, shape):
+        q = orthogonal(rng, shape)
+        assert q.shape == shape
+        # The smaller dimension stays orthonormal.
+        if shape[0] < shape[1]:
+            gram = q @ q.T
+        else:
+            gram = q.T @ q
+        assert np.allclose(gram, np.eye(min(shape)), atol=1e-10)

@@ -1,0 +1,101 @@
+"""Tests for LSTM/GRU cells and masked recurrent scans."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, GRUCell, LSTM, LSTMCell, Tensor
+
+
+class TestCells:
+    def test_lstm_cell_shapes(self, rng):
+        cell = LSTMCell(6, 5, rng)
+        h, c = cell(
+            Tensor(np.zeros((3, 6))), Tensor(np.zeros((3, 5))), Tensor(np.zeros((3, 5)))
+        )
+        assert h.shape == (3, 5)
+        assert c.shape == (3, 5)
+
+    def test_gru_cell_shapes(self, rng):
+        cell = GRUCell(6, 5, rng)
+        h = cell(Tensor(np.zeros((3, 6))), Tensor(np.zeros((3, 5))))
+        assert h.shape == (3, 5)
+
+    def test_gru_zero_input_zero_state_bounded(self, rng):
+        cell = GRUCell(4, 4, rng)
+        h = cell(Tensor(np.zeros((1, 4))), Tensor(np.zeros((1, 4))))
+        assert (np.abs(h.data) <= 1.0).all()
+
+    def test_lstm_forget_bias_initialised(self, rng):
+        cell = LSTMCell(4, 4, rng)
+        bias = cell.bias.data
+        assert np.allclose(bias[4:8], 1.0)
+
+
+class TestScan:
+    @pytest.mark.parametrize("rnn_cls", [GRU, LSTM])
+    def test_output_shapes(self, rng, rnn_cls):
+        rnn = rnn_cls(6, 5, rng)
+        out, final = rnn(Tensor(np.zeros((2, 7, 6))))
+        assert out.shape == (2, 7, 5)
+        assert final.shape == (2, 5)
+
+    @pytest.mark.parametrize("rnn_cls", [GRU, LSTM])
+    def test_bidirectional_shapes(self, rng, rnn_cls):
+        rnn = rnn_cls(6, 5, rng, bidirectional=True)
+        out, final = rnn(Tensor(np.zeros((2, 7, 6))))
+        assert out.shape == (2, 7, 10)
+        assert final.shape == (2, 10)
+
+    @pytest.mark.parametrize("rnn_cls", [GRU, LSTM])
+    def test_padding_invariance(self, rng, rnn_cls):
+        rnn = rnn_cls(4, 3, rng, bidirectional=True)
+        x = np.random.default_rng(1).normal(size=(1, 3, 4))
+        padded = np.zeros((1, 6, 4))
+        padded[:, :3] = x
+        mask = np.zeros((1, 6))
+        mask[:, :3] = 1.0
+        out_short, final_short = rnn(Tensor(x))
+        out_padded, final_padded = rnn(Tensor(padded), mask=mask)
+        assert np.allclose(
+            out_short.data, out_padded.data[:, :3, :], atol=1e-12
+        )
+        # forward half of the final state matches
+        assert np.allclose(
+            final_short.data[:, :3], final_padded.data[:, :3], atol=1e-12
+        )
+
+    def test_final_state_is_last_output_forward(self, rng):
+        rnn = GRU(4, 3, rng)
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 5, 4)))
+        out, final = rnn(x)
+        assert np.allclose(out.data[:, -1, :], final.data)
+
+    def test_gradients_flow_through_time(self, rng):
+        rnn = LSTM(3, 3, rng)
+        x = Tensor(np.random.default_rng(3).normal(size=(1, 6, 3)),
+                   requires_grad=True)
+        out, final = rnn(x)
+        final.sum().backward()
+        # every timestep's input influences the final state
+        assert (np.abs(x.grad) > 0).any(axis=(0, 2)).all()
+
+    def test_trainable_on_toy_task(self, rng):
+        """GRU learns to output sign of the first input element."""
+        from repro.nn import Adam, Linear, cross_entropy
+
+        gru = GRU(2, 8, rng)
+        head = Linear(8, 2, rng)
+        params = list(gru.parameters()) + list(head.parameters())
+        opt = Adam(params, lr=1e-2)
+        data_rng = np.random.default_rng(5)
+        x = data_rng.normal(size=(64, 4, 2))
+        y = (x[:, 0, 0] > 0).astype(int)
+        for _ in range(60):
+            _, final = gru(Tensor(x))
+            loss = cross_entropy(head(final), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        _, final = gru(Tensor(x))
+        acc = (head(final).data.argmax(-1) == y).mean()
+        assert acc > 0.9

@@ -1,0 +1,104 @@
+"""Tests for noise stripping and relevance filtering."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.corpus.models import RedditPost
+from repro.preprocess.cleaning import (
+    clean_and_filter,
+    clean_post,
+    is_relevant,
+    relevance_score,
+    strip_noise,
+)
+
+
+def make_post(body, title="title"):
+    return RedditPost(
+        post_id="x1",
+        author="a",
+        subreddit="SuicideWatch",
+        title=title,
+        body=body,
+        created_utc=datetime(2020, 5, 1, tzinfo=timezone.utc),
+    )
+
+
+class TestStripNoise:
+    def test_removes_urls(self):
+        assert "http" not in strip_noise("see http://spam.example/x now")
+        assert "www" not in strip_noise("go to www.spam.example please")
+
+    def test_removes_zero_width_chars(self):
+        assert strip_noise("he​llo") == "hello"
+
+    def test_collapses_repeated_punctuation(self):
+        assert strip_noise("help!!!!!!") == "help!"
+        assert strip_noise("what????") == "what?"
+
+    def test_removes_hashtag_runs(self):
+        out = strip_noise("I feel low #help #advice #late")
+        assert "#help" not in out
+
+    def test_removes_removed_tags(self):
+        assert "[removed" not in strip_noise("text [removed by editor] more")
+
+    def test_collapses_whitespace(self):
+        assert strip_noise("a   b\n\n c") == "a b c"
+
+    def test_plain_text_untouched(self):
+        assert strip_noise("I feel exhausted tonight.") == (
+            "I feel exhausted tonight."
+        )
+
+
+class TestRelevance:
+    def test_distress_text_is_relevant(self):
+        assert is_relevant(
+            "I feel hopeless and alone, I keep thinking about suicide"
+        )
+
+    def test_commercial_text_is_irrelevant(self):
+        assert not is_relevant("Selling two concert tickets, DM me, promo code")
+
+    def test_scores_bounded(self):
+        assert 0.0 <= relevance_score("anything at all") <= 1.0
+
+    def test_dealing_does_not_trigger_deal_penalty(self):
+        text = "I have been dealing with everything alone and feel hopeless"
+        assert relevance_score(text) > 0.0
+
+    def test_empty_text_irrelevant(self):
+        assert not is_relevant("")
+
+
+class TestCleanAndFilter:
+    def test_drops_offtopic(self):
+        posts = [
+            make_post("I feel worthless and want to disappear"),
+            make_post("Best pizza place near campus? Also selling tickets"),
+        ]
+        kept, dropped = clean_and_filter(posts)
+        assert len(kept) == 1
+        assert dropped == 1
+
+    def test_clean_post_returns_copy(self):
+        post = make_post("body http://x.example/1")
+        cleaned = clean_post(post)
+        assert cleaned is not post
+        assert "http" in post.body  # original untouched
+        assert "http" not in cleaned.body
+
+    def test_preserves_order(self):
+        posts = [
+            make_post(f"I feel hopeless and alone, day {i}") for i in range(5)
+        ]
+        kept, _ = clean_and_filter(posts)
+        assert [p.post_id for p in kept] == [p.post_id for p in posts]
+
+    @pytest.mark.parametrize("threshold", [0.0, 0.3, 1.0])
+    def test_threshold_monotone(self, threshold):
+        posts = [make_post("I feel exhausted and hopeless tonight")] * 3
+        kept, _ = clean_and_filter(posts, relevance_threshold=threshold)
+        assert len(kept) in (0, 3)

@@ -1,0 +1,66 @@
+"""Tests for the composed pre-processing pipeline."""
+
+from repro.preprocess import PreprocessPipeline, preprocess
+
+
+class TestPipeline:
+    def test_report_accounting_consistent(self, small_corpus):
+        result = preprocess(small_corpus.raw_posts, enable_near_dedup=True)
+        report = result.report
+        assert report.input_posts == len(small_corpus.raw_posts)
+        assert report.output_posts == report.input_posts - report.total_dropped
+        assert report.output_posts == len(result.posts)
+        assert report.output_users == len(result.histories)
+
+    def test_offtopic_removed(self, small_corpus):
+        result = preprocess(small_corpus.raw_posts, enable_near_dedup=False)
+        offtopic_authors = {
+            p.author for p in small_corpus.raw_posts
+            if p.author.startswith("offtopic")
+        }
+        surviving = {p.author for p in result.posts}
+        assert not (offtopic_authors & surviving)
+
+    def test_most_annotated_posts_survive(self, small_corpus):
+        result = preprocess(small_corpus.annotated_posts, enable_near_dedup=False)
+        assert result.report.output_posts > 0.9 * len(
+            small_corpus.annotated_posts
+        )
+
+    def test_exact_duplicates_removed(self, small_corpus):
+        result = preprocess(small_corpus.annotated_posts, enable_near_dedup=False)
+        assert result.report.dropped_exact_duplicates > 0
+        texts = [p.text for p in result.posts]
+        # remaining exact duplicates would be a bug
+        from repro.preprocess.dedup import normalised_fingerprint
+
+        prints = [normalised_fingerprint(t) for t in texts]
+        assert len(set(prints)) == len(prints)
+
+    def test_near_dedup_optional(self, small_corpus):
+        with_near = PreprocessPipeline(enable_near_dedup=True).run(
+            small_corpus.annotated_posts
+        )
+        without = PreprocessPipeline(enable_near_dedup=False).run(
+            small_corpus.annotated_posts
+        )
+        assert without.report.dropped_near_duplicates == 0
+        assert (
+            with_near.report.output_posts <= without.report.output_posts
+        )
+
+    def test_histories_are_chronological(self, small_corpus):
+        result = preprocess(small_corpus.annotated_posts, enable_near_dedup=False)
+        for history in result.histories.values():
+            times = [p.created_utc for p in history.posts]
+            assert times == sorted(times)
+
+    def test_bodies_are_clean(self, small_corpus):
+        result = preprocess(small_corpus.annotated_posts, enable_near_dedup=False)
+        assert not any("http" in p.body for p in result.posts)
+
+    def test_report_as_dict_keys(self, small_corpus):
+        result = preprocess(small_corpus.annotated_posts[:100],
+                            enable_near_dedup=False)
+        keys = set(result.report.as_dict())
+        assert {"input_posts", "output_posts", "output_users"} <= keys

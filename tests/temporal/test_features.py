@@ -1,0 +1,97 @@
+"""Tests for temporal behaviour statistics."""
+
+from datetime import datetime, timedelta, timezone
+
+import numpy as np
+import pytest
+
+from repro.corpus.models import RedditPost
+from repro.temporal.features import (
+    TemporalStats,
+    gaps_hours,
+    is_night,
+    temporal_stats,
+)
+
+
+def make_post(when, pid="p"):
+    return RedditPost(
+        post_id=pid, author="a", subreddit="s", title="", body="b",
+        created_utc=when,
+    )
+
+
+T0 = datetime(2020, 3, 2, 12, 0, tzinfo=timezone.utc)  # a Monday, noon
+
+
+class TestIsNight:
+    @pytest.mark.parametrize("hour,expected", [
+        (23, True), (0, True), (3, True), (4, True),
+        (5, False), (12, False), (22, False),
+    ])
+    def test_window(self, hour, expected):
+        when = T0.replace(hour=hour)
+        assert is_night(when) is expected
+
+
+class TestGaps:
+    def test_gap_values(self):
+        times = [T0, T0 + timedelta(hours=5), T0 + timedelta(hours=6)]
+        gaps = gaps_hours(times)
+        assert np.allclose(gaps, [5.0, 1.0])
+
+    def test_single_post_no_gaps(self):
+        assert gaps_hours([T0]).size == 0
+
+
+class TestTemporalStats:
+    def _posts(self, hours):
+        return [make_post(T0 + timedelta(hours=h), f"p{i}")
+                for i, h in enumerate(hours)]
+
+    def test_empty_history_all_zero(self):
+        stats = temporal_stats([])
+        assert stats.as_vector().sum() == 0.0
+
+    def test_basic_statistics(self):
+        stats = temporal_stats(self._posts([0, 24, 48]))
+        assert stats.num_posts == 3
+        assert stats.span_days == pytest.approx(2.0)
+        assert stats.mean_gap_hours == pytest.approx(24.0)
+        assert stats.std_gap_hours == pytest.approx(0.0)
+
+    def test_gap_trend_sign(self):
+        accelerating = temporal_stats(self._posts([0, 100, 150, 170, 175]))
+        assert accelerating.gap_trend < 0
+        decelerating = temporal_stats(self._posts([0, 5, 25, 75, 175]))
+        assert decelerating.gap_trend > 0
+
+    def test_night_ratio(self):
+        night_posts = [
+            make_post(T0.replace(hour=2) + timedelta(days=i), f"p{i}")
+            for i in range(4)
+        ]
+        assert temporal_stats(night_posts).night_ratio == 1.0
+
+    def test_weekend_ratio(self):
+        saturday = datetime(2020, 3, 7, 12, 0, tzinfo=timezone.utc)
+        posts = [make_post(saturday + timedelta(hours=i), f"p{i}") for i in range(3)]
+        assert temporal_stats(posts).weekend_ratio == 1.0
+
+    def test_hour_entropy_zero_when_constant(self):
+        posts = self._posts([0, 24, 48])
+        assert temporal_stats(posts).hour_entropy == pytest.approx(0.0)
+
+    def test_burstiness_range(self):
+        stats = temporal_stats(self._posts([0, 1, 2, 3, 100]))
+        assert -1.0 <= stats.burstiness <= 1.0
+
+    def test_recent_gap_ratio(self):
+        stats = temporal_stats(self._posts([0, 10, 20, 21]))
+        assert stats.recent_gap_ratio < 1.0
+
+    def test_vector_finite(self):
+        stats = temporal_stats(self._posts([0, 3, 9, 11, 40]))
+        vec = stats.as_vector()
+        assert vec.shape == (len(TemporalStats.feature_names()),)
+        assert np.isfinite(vec).all()

@@ -1,0 +1,67 @@
+"""Tests for the BPE subword tokeniser."""
+
+import pytest
+
+from repro.text.bpe import END_OF_WORD, BPETokenizer
+
+
+CORPUS = [
+    "the lowest point of the night",
+    "lower and lower every night",
+    "the new lowest low",
+    "newest news of the new day",
+]
+
+
+@pytest.fixture(scope="module")
+def bpe():
+    return BPETokenizer(num_merges=60).train(CORPUS)
+
+
+class TestTraining:
+    def test_learns_merges(self, bpe):
+        assert len(bpe.merges) > 0
+
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            BPETokenizer().tokenize("text")
+
+    def test_invalid_num_merges(self):
+        with pytest.raises(ValueError):
+            BPETokenizer(num_merges=0)
+
+    def test_merge_count_bounded(self):
+        bpe = BPETokenizer(num_merges=5).train(CORPUS)
+        assert len(bpe.merges) <= 5
+
+
+class TestEncoding:
+    def test_roundtrip_surface_form(self, bpe):
+        pieces = bpe.tokenize("the lowest night")
+        rebuilt = "".join(pieces).replace(END_OF_WORD, " ").strip()
+        assert rebuilt == "the lowest night"
+
+    def test_word_final_marker(self, bpe):
+        pieces = bpe.tokenize("low")
+        assert pieces[-1].endswith(END_OF_WORD)
+
+    def test_frequent_words_become_single_pieces(self, bpe):
+        # "the" appears often; it should merge into one piece.
+        assert bpe.tokenize("the") == ["the" + END_OF_WORD]
+
+    def test_unseen_word_splits_into_pieces(self, bpe):
+        pieces = bpe.tokenize("zzzqqq")
+        assert len(pieces) >= 2
+
+    def test_deterministic(self, bpe):
+        assert bpe.tokenize("lower the news") == bpe.tokenize("lower the news")
+
+    def test_cache_consistency(self, bpe):
+        first = bpe.tokenize("lowest")
+        second = bpe.tokenize("lowest")
+        assert first == second
+
+    def test_vocabulary_tokens(self, bpe):
+        pieces = bpe.vocabulary_tokens(CORPUS)
+        assert pieces == sorted(pieces)
+        assert all(isinstance(p, str) for p in pieces)

@@ -1,0 +1,61 @@
+"""Tests for text statistical features."""
+
+import numpy as np
+import pytest
+
+from repro.text.stats import TextStats, stats_matrix, text_stats
+
+
+class TestTextStats:
+    def test_counts(self):
+        stats = text_stats("I am tired. Are you tired?")
+        assert stats.num_sentences == 2
+        assert stats.num_words > 0
+        assert stats.question_marks == 1
+
+    def test_first_person_ratio(self):
+        high = text_stats("i feel like i am losing my mind and i hate it")
+        low = text_stats("they said he went to the store with her")
+        assert high.first_person_ratio > low.first_person_ratio
+
+    def test_negation_ratio(self):
+        stats = text_stats("no I will not do it, never")
+        assert stats.negation_ratio > 0.2
+
+    def test_absolutist_ratio(self):
+        stats = text_stats("everything is always completely ruined")
+        assert stats.absolutist_ratio > 0.4
+
+    def test_uppercase_ratio(self):
+        assert text_stats("HELP ME NOW").uppercase_ratio == 1.0
+        assert text_stats("quiet text").uppercase_ratio == 0.0
+
+    def test_type_token_ratio_bounds(self):
+        stats = text_stats("word word word word")
+        assert stats.type_token_ratio == pytest.approx(0.25)
+
+    def test_empty_text(self):
+        stats = text_stats("")
+        assert stats.num_words == 0
+        assert stats.avg_word_length == 0.0
+
+    def test_vector_matches_names(self):
+        stats = text_stats("some example text here")
+        vec = stats.as_vector()
+        assert vec.shape == (len(TextStats.feature_names()),)
+        assert np.isfinite(vec).all()
+
+
+class TestStatsMatrix:
+    def test_shape(self):
+        matrix = stats_matrix(["one text", "another longer text here"])
+        assert matrix.shape == (2, len(TextStats.feature_names()))
+
+    def test_empty_input(self):
+        matrix = stats_matrix([])
+        assert matrix.shape == (0, len(TextStats.feature_names()))
+
+    def test_length_feature_orders(self):
+        matrix = stats_matrix(["short", "a much longer text with many words"])
+        idx = TextStats.feature_names().index("num_words")
+        assert matrix[1, idx] > matrix[0, idx]

