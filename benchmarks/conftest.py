@@ -12,7 +12,25 @@ import pytest
 
 from repro.experiments.common import cached_build
 
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+
+def _read_bench_scale() -> float:
+    """Parse and validate ``REPRO_BENCH_SCALE`` (must be in (0, 1])."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "0.3")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise SystemExit(
+            f"REPRO_BENCH_SCALE must be a float in (0, 1], got {raw!r}"
+        ) from None
+    if not 0.0 < scale <= 1.0:
+        raise SystemExit(
+            "REPRO_BENCH_SCALE must be in (0, 1] — a fraction of the "
+            f"paper-sized corpus, 1.0 for full scale — got {raw!r}"
+        )
+    return scale
+
+
+BENCH_SCALE = _read_bench_scale()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,194 @@
+"""Hot-path benchmark: vectorized kernels and warm cache vs their
+predecessors. Writes machine-readable results to BENCH_PR1.json.
+
+"before" numbers run the retained ``_reference`` implementations (or a
+cold cache); "after" numbers run the shipped vectorized kernels (or a
+warm cache). Targets: >= 2x on the GBM split scan and MinHash
+microbenchmarks, >= 5x warm-vs-cold dataset build.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_pr1.py [scale] [output.json]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import perf
+from repro.boosting.tree import RegressionTree, TreeParams
+from repro.core.cache import BuildCache, build_dataset_cached
+from repro.core.config import AnnotationConfig, CorpusConfig
+from repro.eval.runner import run_repeated
+from repro.models.bilstm import TimeAwareBiLSTM
+from repro.models.neural_common import TrainerConfig
+from repro.models.xgboost_baseline import XGBoostBaseline
+from repro.nn.rnn import _Recurrent
+from repro.preprocess.dedup import MinHasher, remove_near_duplicates, shingles
+
+
+def best_of(fn, repeats=3):
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_split_scan() -> dict:
+    # Node-level workload: a grown tree calls _best_split once per node,
+    # overwhelmingly on a few hundred rows — time a batch of such scans.
+    rng = np.random.default_rng(0)
+    n, n_features, calls = 200, 20, 200
+    x = rng.normal(size=(n, n_features))
+    g = rng.normal(size=n)
+    h = np.ones(n)
+    tree = RegressionTree(TreeParams())
+    args = (
+        x, g, h, np.arange(n), np.arange(n_features),
+        float(g.sum()), float(h.sum()),
+    )
+    after = best_of(lambda: [tree._best_split(*args) for _ in range(calls)])
+    before = best_of(
+        lambda: [tree._best_split_reference(*args) for _ in range(calls)]
+    )
+    return {"before_s": before, "after_s": after, "speedup": before / after}
+
+
+def bench_minhash() -> dict:
+    hasher = MinHasher(num_perm=128)
+    sets = [
+        shingles(f"benchmark text number {i} with several shared words " * 4)
+        for i in range(100)
+    ]
+    after = best_of(lambda: [hasher.signature(s) for s in sets])
+    before = best_of(lambda: [hasher._signature_reference(s) for s in sets])
+    return {"before_s": before, "after_s": after, "speedup": before / after}
+
+
+def bench_build_cache(config, annotation) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = BuildCache(root=Path(tmp) / "cache")
+        start = time.perf_counter()
+        build_dataset_cached(config, annotation, near_dedup=False, cache=cache)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        build_dataset_cached(config, annotation, near_dedup=False, cache=cache)
+        warm = time.perf_counter() - start
+    return {"cold_s": cold, "warm_s": warm, "speedup": cold / warm}
+
+
+def _unfused_scan():
+    """Context that forces the pre-fusion per-step recurrence."""
+    original = _Recurrent._scan
+
+    class _Restore:
+        def __enter__(self):
+            def unfused(self, cell, x, mask, reverse, fused=True):
+                return original(self, cell, x, mask, reverse, fused=False)
+
+            _Recurrent._scan = unfused
+
+        def __exit__(self, *exc):
+            _Recurrent._scan = original
+
+    return _Restore()
+
+
+def _reference_split():
+    original = RegressionTree._best_split
+
+    class _Restore:
+        def __enter__(self):
+            RegressionTree._best_split = RegressionTree._best_split_reference
+
+        def __exit__(self, *exc):
+            RegressionTree._best_split = original
+
+    return _Restore()
+
+
+def bench_xgboost_fit(splits) -> dict:
+    def fit():
+        XGBoostBaseline(seed=0).fit(splits.train, splits.validation)
+
+    after = best_of(fit, repeats=2)
+    with _reference_split():
+        before = best_of(fit, repeats=2)
+    return {"before_s": before, "after_s": after, "speedup": before / after}
+
+
+def bench_bilstm_epoch(splits) -> dict:
+    def fit():
+        model = TimeAwareBiLSTM(
+            trainer=TrainerConfig(epochs=1, seed=0), seed=0
+        )
+        model.fit(splits.train, splits.validation)
+
+    after = best_of(fit, repeats=3)
+    with _unfused_scan():
+        before = best_of(fit, repeats=3)
+    return {"before_s": before, "after_s": after, "speedup": before / after}
+
+
+def bench_near_dedup(posts) -> dict:
+    elapsed = best_of(lambda: remove_near_duplicates(posts), repeats=1)
+    return {"after_s": elapsed, "posts": len(posts)}
+
+
+def bench_run_repeated(splits) -> dict:
+    elapsed = best_of(
+        lambda: run_repeated("logreg", splits, seeds=(0, 1, 2), n_jobs=1),
+        repeats=1,
+    )
+    return {"seeds": 3, "after_s": elapsed}
+
+
+def main(argv: list[str]) -> int:
+    scale = float(argv[0]) if argv else 0.1
+    output = Path(argv[1]) if len(argv) > 1 else Path("BENCH_PR1.json")
+    config = CorpusConfig().scaled(scale)
+    annotation = AnnotationConfig(seed=config.seed)
+
+    perf.reset()
+    print(f"bench_pr1: scale={scale}")
+    results = {"scale": scale}
+
+    results["split_scan"] = bench_split_scan()
+    results["minhash"] = bench_minhash()
+    results["dataset_build"] = bench_build_cache(config, annotation)
+
+    build = build_dataset_cached(config, annotation, near_dedup=False)
+    splits = build.dataset.splits()
+    results["near_dedup"] = bench_near_dedup(
+        build.corpus.annotated_posts[:2000]
+    )
+    results["xgboost_fit"] = bench_xgboost_fit(splits)
+    results["bilstm_epoch"] = bench_bilstm_epoch(splits)
+    results["run_repeated"] = bench_run_repeated(splits)
+
+    checks = {
+        "split_scan_2x": results["split_scan"]["speedup"] >= 2.0,
+        "minhash_2x": results["minhash"]["speedup"] >= 2.0,
+        "warm_cache_5x": results["dataset_build"]["speedup"] >= 5.0,
+    }
+    results["checks"] = checks
+
+    for name, stats in results.items():
+        if isinstance(stats, dict) and "speedup" in stats:
+            print(f"  {name:<14} {stats['speedup']:6.1f}x")
+    for name, ok in checks.items():
+        print(f"  check {name:<20} {'PASS' if ok else 'FAIL'}")
+
+    perf.write_json(output, extra={"benchmarks": results})
+    print(f"wrote {output}")
+    return 0 if all(checks.values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -7,10 +7,12 @@ the feature set the paper's XGBoost baseline depends on.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import perf
 from repro.core.errors import NotFittedError
 from repro.boosting.objectives import LogisticObjective, SoftmaxObjective
 from repro.boosting.tree import RegressionTree, TreeParams
@@ -23,6 +25,11 @@ class GBMParams:
     ``max_bins``: when set, features are quantile-binned once up front and
     trees split on bin indices — the ``tree_method="hist"`` trade-off
     (much faster split search, slightly coarser thresholds).
+
+    ``auto_hist_rows``: when ``max_bins`` is None and the training set has
+    at least this many rows, histogram mode is enabled automatically with
+    ``auto_hist_bins`` bins (the ``tree_method="auto"`` behaviour). Set to
+    0 to always use the exact sweep.
     """
 
     n_estimators: int = 60
@@ -35,15 +42,26 @@ class GBMParams:
     colsample: float = 1.0
     early_stopping_rounds: int | None = None
     max_bins: int | None = None
+    auto_hist_rows: int = 4096
+    auto_hist_bins: int = 256
     seed: int = 0
 
-    def tree_params(self) -> TreeParams:
+    def effective_bins(self, num_rows: int) -> int | None:
+        """Bin count to train with: explicit ``max_bins``, or the auto-hist
+        default once the training set crosses ``auto_hist_rows`` rows."""
+        if self.max_bins is not None:
+            return self.max_bins
+        if self.auto_hist_rows and num_rows >= self.auto_hist_rows:
+            return self.auto_hist_bins
+        return None
+
+    def tree_params(self, binned_max: int | None = None) -> TreeParams:
         return TreeParams(
             max_depth=self.max_depth,
             min_child_weight=self.min_child_weight,
             reg_lambda=self.reg_lambda,
             gamma=self.gamma,
-            binned_max=self.max_bins,
+            binned_max=self.max_bins if binned_max is None else binned_max,
         )
 
 
@@ -119,8 +137,10 @@ class GradientBoostingClassifier:
         self.num_classes_ = int(targets.max()) + 1
         self.num_features_ = features.shape[1]
         self._binner = None
-        if self.params.max_bins is not None:
-            self._binner = QuantileBinner(self.params.max_bins)
+        bins = self.params.effective_bins(len(features))
+        tree_params = self.params.tree_params(bins)
+        if bins is not None:
+            self._binner = QuantileBinner(bins)
             features = self._binner.fit_transform(features)
             if eval_set is not None:
                 eval_set = (
@@ -142,35 +162,41 @@ class GradientBoostingClassifier:
         best_loss = np.inf
         rounds_since_best = 0
         n, f = features.shape
-        for _ in range(self.params.n_estimators):
-            grad, hess = self._objective.grad_hess(scores, targets, sample_weight)
-            row_idx = self._subsample(rng, n, self.params.subsample)
-            col_idx = self._subsample(rng, f, self.params.colsample)
-            this_round = _Round()
-            for k in range(self._objective.num_classes):
-                tree = RegressionTree(self.params.tree_params()).fit(
-                    features, grad[:, k], hess[:, k], row_idx, col_idx
+        with perf.span("gbm.fit"):
+            for _ in range(self.params.n_estimators):
+                grad, hess = self._objective.grad_hess(
+                    scores, targets, sample_weight
                 )
-                update = tree.predict(features)
-                scores[:, k] += self.params.learning_rate * update
-                this_round.trees.append(tree)
-                if eval_scores is not None:
-                    eval_scores[:, k] += self.params.learning_rate * tree.predict(
-                        eval_set[0]
+                row_idx = self._subsample(rng, n, self.params.subsample)
+                col_idx = self._subsample(rng, f, self.params.colsample)
+                this_round = _Round()
+                for k in range(self._objective.num_classes):
+                    tree = RegressionTree(dataclasses.replace(tree_params)).fit(
+                        features, grad[:, k], hess[:, k], row_idx, col_idx
                     )
-            self._rounds.append(this_round)
-            if eval_scores is not None:
-                loss = self._objective.loss(eval_scores, np.asarray(eval_set[1]))
-                self.eval_history_.append(loss)
-                if loss < best_loss - 1e-9:
-                    best_loss = loss
-                    self.best_iteration_ = len(self._rounds)
-                    rounds_since_best = 0
-                else:
-                    rounds_since_best += 1
-                    patience = self.params.early_stopping_rounds
-                    if patience is not None and rounds_since_best >= patience:
-                        break
+                    update = tree.predict(features)
+                    scores[:, k] += self.params.learning_rate * update
+                    this_round.trees.append(tree)
+                    if eval_scores is not None:
+                        eval_scores[:, k] += (
+                            self.params.learning_rate * tree.predict(eval_set[0])
+                        )
+                self._rounds.append(this_round)
+                perf.count("gbm.rounds")
+                if eval_scores is not None:
+                    loss = self._objective.loss(
+                        eval_scores, np.asarray(eval_set[1])
+                    )
+                    self.eval_history_.append(loss)
+                    if loss < best_loss - 1e-9:
+                        best_loss = loss
+                        self.best_iteration_ = len(self._rounds)
+                        rounds_since_best = 0
+                    else:
+                        rounds_since_best += 1
+                        patience = self.params.early_stopping_rounds
+                        if patience is not None and rounds_since_best >= patience:
+                            break
         if self.best_iteration_ is None:
             self.best_iteration_ = len(self._rounds)
         return self

@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import perf
 from repro.core.config import CorpusConfig
 from repro.core.dataset import RSD15K
 from repro.core.pipeline import build_dataset
@@ -110,7 +111,17 @@ def cmd_bench(args) -> int:
         "kappa": kappa_consistency.main,
         "ablations": ablations.main,
     }
+    if args.profile:
+        perf.reset()
     mains[args.experiment]()
+    if args.profile:
+        print()
+        print("perf profile")
+        print(perf.render())
+        out = perf.write_json(
+            args.profile_output, extra={"experiment": args.experiment}
+        )
+        print(f"wrote perf report to {out}")
     return 0
 
 
@@ -150,13 +161,28 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["table1", "table2", "table3", "table4", "fig1", "fig23",
                  "fig4", "kappa", "ablations"],
     )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="print the perf span report and write it to --profile-output",
+    )
+    p_bench.add_argument(
+        "--profile-output", default="BENCH_PR1.json",
+        help="JSON file the perf report is merged into (default BENCH_PR1.json)",
+    )
     p_bench.set_defaults(func=cmd_bench)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    code = args.func(args)
+    # REPRO_PERF=1 appends the span report to any command's output
+    # (``bench --profile`` prints it regardless).
+    if perf.enabled() and not getattr(args, "profile", False):
+        print()
+        print("perf profile")
+        print(perf.render())
+    return code
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.annotation.process import AnnotationCampaign, CampaignResult
 from repro.core.config import AnnotationConfig, CorpusConfig
 from repro.core.dataset import RSD15K
@@ -80,40 +81,48 @@ def build_dataset(
         seed=corpus_config.seed
     )
 
-    corpus = CorpusGenerator(corpus_config).generate()
-    report = BuildReport(raw_posts=len(corpus.raw_posts))
+    with perf.span("build"):
+        with perf.span("corpus"):
+            corpus = CorpusGenerator(corpus_config).generate()
+        report = BuildReport(raw_posts=len(corpus.raw_posts))
 
-    annotated_slice = corpus.annotated_posts
-    report.annotated_slice_posts = len(annotated_slice)
+        annotated_slice = corpus.annotated_posts
+        report.annotated_slice_posts = len(annotated_slice)
 
-    pre = PreprocessPipeline(enable_near_dedup=near_dedup).run(annotated_slice)
-    report.preprocess = pre.report
+        with perf.span("preprocess"):
+            pre = PreprocessPipeline(enable_near_dedup=near_dedup).run(
+                annotated_slice
+            )
+        report.preprocess = pre.report
 
-    campaign = AnnotationCampaign(annotation_config).run(pre.posts)
-    report.campaign_kappa = campaign.kappa
-    report.campaign_label_noise = campaign.label_noise
-    report.campaign_escalated = campaign.num_escalated
+        with perf.span("annotation"):
+            campaign = AnnotationCampaign(annotation_config).run(pre.posts)
+        report.campaign_kappa = campaign.kappa
+        report.campaign_label_noise = campaign.label_noise
+        report.campaign_escalated = campaign.num_escalated
 
-    labelled_posts = [p for p in pre.posts if p.post_id in campaign.labels]
-    labels = dict(campaign.labels)
+        labelled_posts = [p for p in pre.posts if p.post_id in campaign.labels]
+        labels = dict(campaign.labels)
 
-    if anonymise:
-        anonymizer = Anonymizer(salt=f"rsd15k-{corpus_config.seed}")
-        anonymised = anonymizer.anonymise(labelled_posts)
-        audit_anonymisation(labelled_posts, anonymised)
-        labels = {
-            anonymizer.pseudonym(post_id, "p"): label
-            for post_id, label in labels.items()
-        }
-        labelled_posts = anonymised
+        if anonymise:
+            with perf.span("anonymise"):
+                anonymizer = Anonymizer(salt=f"rsd15k-{corpus_config.seed}")
+                anonymised = anonymizer.anonymise(labelled_posts)
+                audit_anonymisation(labelled_posts, anonymised)
+                labels = {
+                    anonymizer.pseudonym(post_id, "p"): label
+                    for post_id, label in labels.items()
+                }
+                labelled_posts = anonymised
 
-    background = [p.text for p in corpus.background_posts]
-    dataset = RSD15K(
-        posts=labelled_posts,
-        labels=labels,
-        pretrain_texts=background,
-        kappa=campaign.kappa,
-    )
+        with perf.span("dataset"):
+            background = [p.text for p in corpus.background_posts]
+            dataset = RSD15K(
+                posts=labelled_posts,
+                labels=labels,
+                pretrain_texts=background,
+                kappa=campaign.kappa,
+            )
     report.final_posts = dataset.num_posts
     report.final_users = dataset.num_users
     return BuildResult(

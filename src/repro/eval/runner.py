@@ -8,15 +8,37 @@ benchmark harness consumes.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import perf
 from repro.core.errors import ExperimentError
 from repro.eval.metrics import EvalReport
 from repro.eval.splits import WindowSplits
 from repro.models.registry import create_model
 from repro.temporal.windows import PostWindow
+
+#: Default worker count for :func:`run_repeated` when ``n_jobs`` is not
+#: passed; unset or 1 keeps the serial path.
+SEED_JOBS_ENV = "REPRO_SEED_JOBS"
+
+
+def _default_jobs() -> int:
+    raw = os.environ.get(SEED_JOBS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"{SEED_JOBS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if jobs < 1:
+        raise ExperimentError(f"{SEED_JOBS_ENV} must be >= 1, got {jobs}")
+    return jobs
 
 
 @dataclass(frozen=True)
@@ -56,28 +78,53 @@ class MultiRunResult:
         return self.summary("accuracy").std < 0.10
 
 
+def _seed_job(payload) -> EvalReport:
+    """One seed's train/eval round — module-level so it pickles to workers.
+
+    All randomness flows from ``create_model(seed=...)``, so a job's report
+    is identical whether it runs in-process or in a forked worker.
+    """
+    model_name, splits, seed, model_kwargs = payload
+    model = create_model(model_name, seed=seed, **model_kwargs)
+    model.fit(splits.train, splits.validation)
+    y_test = np.array([int(w.label) for w in splits.test])
+    return EvalReport.compute(model.name, y_test, model.predict(splits.test))
+
+
 def run_repeated(
     model_name: str,
     splits: WindowSplits,
     seeds: tuple[int, ...] = (0, 1, 2),
+    n_jobs: int | None = None,
     **model_kwargs,
 ) -> MultiRunResult:
     """Train/evaluate ``model_name`` once per seed on fixed splits.
 
     The splits stay fixed (the paper's protocol re-runs training, not
     resampling); only initialisation/shuffling seeds vary.
+
+    ``n_jobs``: number of worker processes. None reads ``REPRO_SEED_JOBS``
+    (default 1 = serial). Because every seed carries its own RNG, the
+    parallel path returns reports bitwise identical to the serial one, in
+    seed order.
     """
     if not seeds:
         raise ExperimentError("at least one seed required")
+    jobs = _default_jobs() if n_jobs is None else int(n_jobs)
+    if jobs < 1:
+        raise ExperimentError(f"n_jobs must be >= 1, got {jobs}")
+    payloads = [(model_name, splits, seed, model_kwargs) for seed in seeds]
     result = MultiRunResult(model=model_name)
-    y_test = np.array([int(w.label) for w in splits.test])
-    for seed in seeds:
-        model = create_model(model_name, seed=seed, **model_kwargs)
-        model.fit(splits.train, splits.validation)
-        predictions = model.predict(splits.test)
-        result.reports.append(
-            EvalReport.compute(model.name, y_test, predictions)
-        )
+    with perf.span("run_repeated"):
+        if jobs == 1 or len(seeds) == 1:
+            reports = [_seed_job(p) for p in payloads]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(seeds))
+            ) as pool:
+                reports = list(pool.map(_seed_job, payloads))
+        perf.count("run_repeated.seeds", len(seeds))
+    result.reports.extend(reports)
     return result
 
 

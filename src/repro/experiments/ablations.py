@@ -9,6 +9,7 @@
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -16,6 +17,7 @@ import numpy as np
 from repro.core.config import WindowConfig
 from repro.core.rng import DEFAULT_SEED
 from repro.eval.metrics import EvalReport, accuracy, macro_f1
+from repro.eval.runner import _default_jobs
 from repro.experiments.common import BENCH_SCALE, cached_build, format_table
 from repro.models.neural_common import TrainerConfig
 from repro.models.roberta import RobertaRiskModel
@@ -72,24 +74,38 @@ class _DimensionOnlyXGBoost(XGBoostBaseline):
         )
 
 
+def _run_jobs(job, payloads, n_jobs):
+    """Map ``job`` over ``payloads``, optionally across worker processes.
+
+    Each configuration is seeded independently, so the parallel path
+    returns the same rows as the serial one, in payload order. Workers are
+    forked, so they inherit the parent's ``cached_build`` memo and never
+    rebuild the dataset.
+    """
+    jobs = _default_jobs() if n_jobs is None else int(n_jobs)
+    if jobs <= 1 or len(payloads) <= 1:
+        return [job(p) for p in payloads]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        return list(pool.map(job, payloads))
+
+
+def _dimension_job(payload) -> AblationRow:
+    scale, seed, dim = payload
+    splits = cached_build(scale, seed).dataset.splits()
+    model = XGBoostBaseline() if dim is None else _DimensionOnlyXGBoost(dim)
+    return _evaluate(model, splits.train, splits.validation, splits.test)
+
+
 def feature_dimension_ablation(
-    scale: float = BENCH_SCALE, seed: int = DEFAULT_SEED
+    scale: float = BENCH_SCALE,
+    seed: int = DEFAULT_SEED,
+    n_jobs: int | None = None,
 ) -> list[AblationRow]:
     """XGBoost with all features vs each dimension alone."""
-    splits = cached_build(scale, seed).dataset.splits()
-    rows = [
-        _evaluate(XGBoostBaseline(), splits.train, splits.validation, splits.test)
+    payloads = [
+        (scale, seed, dim) for dim in (None, "time", "sequence", "text")
     ]
-    for dim in ("time", "sequence", "text"):
-        rows.append(
-            _evaluate(
-                _DimensionOnlyXGBoost(dim),
-                splits.train,
-                splits.validation,
-                splits.test,
-            )
-        )
-    return rows
+    return _run_jobs(_dimension_job, payloads, n_jobs)
 
 
 def pretraining_ablation(
@@ -113,22 +129,24 @@ def pretraining_ablation(
     return rows
 
 
+def _window_job(payload) -> AblationRow:
+    scale, seed, size = payload
+    dataset = cached_build(scale, seed).dataset
+    splits = dataset.splits(window_config=WindowConfig(size=size))
+    model = XGBoostBaseline()
+    model.name = f"XGBoost[w={size}]"
+    return _evaluate(model, splits.train, splits.validation, splits.test)
+
+
 def window_size_ablation(
     scale: float = BENCH_SCALE,
     seed: int = DEFAULT_SEED,
     sizes: tuple[int, ...] = (1, 3, 5),
+    n_jobs: int | None = None,
 ) -> list[AblationRow]:
     """The stable 5-element window vs truncated histories (XGBoost)."""
-    dataset = cached_build(scale, seed).dataset
-    rows = []
-    for size in sizes:
-        splits = dataset.splits(window_config=WindowConfig(size=size))
-        model = XGBoostBaseline()
-        model.name = f"XGBoost[w={size}]"
-        rows.append(
-            _evaluate(model, splits.train, splits.validation, splits.test)
-        )
-    return rows
+    payloads = [(scale, seed, size) for size in sizes]
+    return _run_jobs(_window_job, payloads, n_jobs)
 
 
 def voting_ablation(

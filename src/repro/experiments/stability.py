@@ -18,15 +18,20 @@ def run(
     seed: int = DEFAULT_SEED,
     model: str = "xgboost",
     seeds: tuple[int, ...] = (0, 1, 2),
+    n_jobs: int | None = None,
 ) -> MultiRunResult:
-    """Repeat train/eval of ``model`` across ``seeds``."""
+    """Repeat train/eval of ``model`` across ``seeds``.
+
+    ``n_jobs`` forwards to :func:`run_repeated`; None reads
+    ``REPRO_SEED_JOBS`` (seeds run in parallel processes when > 1).
+    """
     dataset = cached_build(scale, seed).dataset
     splits = dataset.splits()
     kwargs = {}
     if model in ("roberta", "deberta"):
         kwargs["pretrain_texts"] = dataset.pretrain_texts[:6000]
         kwargs["pretrain_steps"] = 300
-    return run_repeated(model, splits, seeds=seeds, **kwargs)
+    return run_repeated(model, splits, seeds=seeds, n_jobs=n_jobs, **kwargs)
 
 
 def render(result: MultiRunResult) -> str:

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import perf
 from repro.core.rng import SeedSequenceRegistry
 from repro.eval.metrics import macro_f1
 from repro.nn import (
@@ -243,22 +244,24 @@ def train_classifier(
         order = shuffle_rng.permutation(n)
         epoch_loss = 0.0
         num_batches = 0
-        for start in range(0, n, config.batch_size):
-            idx = order[start : start + config.batch_size]
-            logits = forward_fn(encoded_train, idx)
-            loss = cross_entropy(
-                logits,
-                encoded_train.labels[idx],
-                class_weights=class_weights,
-                label_smoothing=config.label_smoothing,
-            )
-            optimizer.zero_grad()
-            loss.backward()
-            clip_grad_norm(module.parameters(), config.clip_norm)
-            schedule.step()
-            optimizer.step()
-            epoch_loss += loss.item()
-            num_batches += 1
+        with perf.span("nn.epoch"):
+            for start in range(0, n, config.batch_size):
+                idx = order[start : start + config.batch_size]
+                logits = forward_fn(encoded_train, idx)
+                loss = cross_entropy(
+                    logits,
+                    encoded_train.labels[idx],
+                    class_weights=class_weights,
+                    label_smoothing=config.label_smoothing,
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(module.parameters(), config.clip_norm)
+                schedule.step()
+                optimizer.step()
+                epoch_loss += loss.item()
+                num_batches += 1
+            perf.count("nn.batches", num_batches)
         history.train_loss.append(epoch_loss / num_batches)
 
         if encoded_val is not None and len(encoded_val):

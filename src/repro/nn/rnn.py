@@ -28,10 +28,15 @@ class LSTMCell(Module):
         bias[hidden_dim : 2 * hidden_dim] = 1.0  # forget-gate bias trick
         self.bias = Parameter(bias)
 
-    def forward(
-        self, x: Tensor, h: Tensor, c: Tensor
-    ) -> tuple[Tensor, Tensor]:
-        z = x @ self.w_x + h @ self.w_h + self.bias
+    def project_inputs(self, x: Tensor) -> Tensor:
+        """All-timestep input gate projections: (B, T, D) → (B, T, 4H).
+
+        One batched matmul replaces T per-step ``x_t @ w_x`` products in
+        the recurrence loop.
+        """
+        return x @ self.w_x
+
+    def _gates(self, z: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
         H = self.hidden_dim
         i = z[:, 0 * H : 1 * H].sigmoid()
         f = z[:, 1 * H : 2 * H].sigmoid()
@@ -40,6 +45,19 @@ class LSTMCell(Module):
         c_new = f * c + i * g
         h_new = o * c_new.tanh()
         return h_new, c_new
+
+    def forward(
+        self, x: Tensor, h: Tensor, c: Tensor
+    ) -> tuple[Tensor, Tensor]:
+        z = x @ self.w_x + h @ self.w_h + self.bias
+        return self._gates(z, c)
+
+    def forward_fused(
+        self, x_proj_t: Tensor, h: Tensor, c: Tensor
+    ) -> tuple[Tensor, Tensor]:
+        """Step with a precomputed input projection (one (B, 4H) slice)."""
+        z = x_proj_t + h @ self.w_h + self.bias
+        return self._gates(z, c)
 
 
 class GRUCell(Module):
@@ -56,12 +74,30 @@ class GRUCell(Module):
         self.w_h_n = Parameter(orthogonal(rng, (hidden_dim, hidden_dim)))
         self.b_n = Parameter(np.zeros(hidden_dim))
 
+    def project_inputs(self, x: Tensor) -> Tensor:
+        """All-timestep input projections: (B, T, D) → (B, T, 3H) with the
+        reset/update columns first and the candidate columns last."""
+        return Tensor.concat([x @ self.w_x_rz, x @ self.w_x_n], axis=2)
+
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         H = self.hidden_dim
         rz = (x @ self.w_x_rz + h @ self.w_h_rz + self.b_rz).sigmoid()
         r = rz[:, :H]
         z = rz[:, H:]
         n = (x @ self.w_x_n + (r * h) @ self.w_h_n + self.b_n).tanh()
+        return (1.0 - z) * n + z * h
+
+    def forward_fused(self, x_proj_t: Tensor, h: Tensor) -> Tensor:
+        """Step with a precomputed input projection (one (B, 3H) slice)."""
+        H = self.hidden_dim
+        rz = (
+            x_proj_t[:, : 2 * H] + h @ self.w_h_rz + self.b_rz
+        ).sigmoid()
+        r = rz[:, :H]
+        z = rz[:, H:]
+        n = (
+            x_proj_t[:, 2 * H :] + (r * h) @ self.w_h_n + self.b_n
+        ).tanh()
         return (1.0 - z) * n + z * h
 
 
@@ -94,19 +130,37 @@ class _Recurrent(Module):
     def _make_cell(self, input_dim, hidden_dim, rng):
         raise NotImplementedError
 
-    def _scan(self, cell, x: Tensor, mask: np.ndarray | None, reverse: bool):
+    def _scan(
+        self,
+        cell,
+        x: Tensor,
+        mask: np.ndarray | None,
+        reverse: bool,
+        fused: bool = True,
+    ):
         batch, steps, _ = x.shape
         h = Tensor(np.zeros((batch, self.hidden_dim)))
         c = Tensor(np.zeros((batch, self.hidden_dim)))
+        # Input-side gate projections for all timesteps in one matmul;
+        # the recurrence below then only does the (B, H) @ w_h products.
+        x_proj = cell.project_inputs(x).unbind(axis=1) if fused else None
         outputs: list[Tensor] = [None] * steps
         order = range(steps - 1, -1, -1) if reverse else range(steps)
         for t in order:
-            x_t = x[:, t, :]
-            if self.cell_kind == "lstm":
-                h_new, c_new = cell(x_t, h, c)
+            if fused:
+                x_proj_t = x_proj[t]
+                if self.cell_kind == "lstm":
+                    h_new, c_new = cell.forward_fused(x_proj_t, h, c)
+                else:
+                    h_new = cell.forward_fused(x_proj_t, h)
+                    c_new = c
             else:
-                h_new = cell(x_t, h)
-                c_new = c
+                x_t = x[:, t, :]
+                if self.cell_kind == "lstm":
+                    h_new, c_new = cell(x_t, h, c)
+                else:
+                    h_new = cell(x_t, h)
+                    c_new = c
             if mask is not None:
                 h = _mask_step(mask[:, t], h_new, h)
                 if self.cell_kind == "lstm":
@@ -115,6 +169,10 @@ class _Recurrent(Module):
                 h, c = h_new, c_new
             outputs[t] = h
         return Tensor.stack(outputs, axis=1), h
+
+    def _scan_reference(self, cell, x, mask, reverse):
+        """Per-step projection predecessor, kept for equivalence tests."""
+        return self._scan(cell, x, mask, reverse, fused=False)
 
     def forward(
         self, x: Tensor, mask: np.ndarray | None = None

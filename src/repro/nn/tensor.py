@@ -46,6 +46,43 @@ def _as_array(value, dtype=np.float64) -> np.ndarray:
     return np.asarray(value, dtype=dtype)
 
 
+def scatter_add_rows(
+    target: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> None:
+    """``target[indices[k]] += rows[k]`` with duplicate indices, in place.
+
+    Implemented as a single flat ``np.bincount`` over ``index·D + column``
+    keys, which is an order of magnitude faster than the ``np.add.at``
+    ufunc loop it replaces (kept as :func:`scatter_add_rows_reference` for
+    equivalence tests). ``target`` must be 2-D ``(V, D)``; ``indices`` is
+    flattened, and ``rows`` reshaped to ``(len(indices), D)``.
+    """
+    dim = target.shape[-1]
+    flat_idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+    flat_rows = np.asarray(rows, dtype=target.dtype).reshape(-1, dim)
+    keys = (flat_idx[:, None] * dim + np.arange(dim)).reshape(-1)
+    target += np.bincount(
+        keys, weights=flat_rows.reshape(-1), minlength=target.size
+    ).reshape(target.shape)
+
+
+def scatter_add_rows_reference(
+    target: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> None:
+    """Naive ``np.add.at`` predecessor of :func:`scatter_add_rows`."""
+    dim = target.shape[-1]
+    flat_idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+    np.add.at(target, flat_idx, np.asarray(rows).reshape(-1, dim))
+
+
+def _is_basic_index(key) -> bool:
+    """True when ``key`` is basic (non-fancy) indexing — no index position
+    can repeat, so a gradient scatter may use ``+=`` instead of
+    ``np.add.at``."""
+    parts = key if isinstance(key, tuple) else (key,)
+    return not any(isinstance(p, (np.ndarray, list)) for p in parts)
+
+
 class Tensor:
     """A node in the autograd graph."""
 
@@ -257,6 +294,20 @@ class Tensor:
                     other._accumulate(
                         _unbroadcast(np.outer(self.data, grad), other.shape)
                     )
+                elif self.data.ndim > 2 and other.data.ndim == 2:
+                    # Batched (…, D) @ (D, K): contract all batch axes in
+                    # one flat gemm instead of materialising a (…, D, K)
+                    # stack and summing it afterwards.
+                    other._accumulate(
+                        np.tensordot(
+                            self.data,
+                            grad,
+                            axes=(
+                                tuple(range(self.data.ndim - 1)),
+                                tuple(range(grad.ndim - 1)),
+                            ),
+                        )
+                    )
                 else:
                     contribution = np.swapaxes(self.data, -1, -2) @ grad
                     other._accumulate(_unbroadcast(contribution, other.shape))
@@ -404,14 +455,44 @@ class Tensor:
 
     def __getitem__(self, key) -> "Tensor":
         out_data = self.data[key]
+        basic = _is_basic_index(key)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
-                np.add.at(full, key, grad)
+                if basic:  # slices/ints never repeat a position
+                    full[key] += grad
+                else:
+                    np.add.at(full, key, grad)
                 self._accumulate(full)
 
         return Tensor._make(out_data, (self,), backward)
+
+    def unbind(self, axis: int = 0) -> list["Tensor"]:
+        """Split into the ``shape[axis]`` sub-tensors along ``axis``.
+
+        Equivalent to ``[self[..., i, ...] for i in range(shape[axis])]``
+        but each piece's backward writes straight into one shared gradient
+        buffer on the parent instead of materialising a full-size zeros
+        array per piece — the difference dominates when unbinding the time
+        axis of a large activation tensor inside an RNN scan.
+        """
+        axis = axis % self.ndim
+
+        def piece(i: int) -> "Tensor":
+            index = [slice(None)] * self.ndim
+            index[axis] = i
+            index = tuple(index)
+
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    if self.grad is None:
+                        self.grad = np.zeros_like(self.data)
+                    self.grad[index] += grad
+
+            return Tensor._make(self.data[index], (self,), backward)
+
+        return [piece(i) for i in range(self.shape[axis])]
 
     @staticmethod
     def concat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
@@ -452,7 +533,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
-                np.add.at(full, indices.reshape(-1), grad.reshape(-1, self.shape[-1]))
+                scatter_add_rows(full, indices, grad)
                 self._accumulate(full)
 
         return Tensor._make(out_data, (self,), backward)

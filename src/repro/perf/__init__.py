@@ -1,0 +1,194 @@
+"""Hierarchical wall-clock instrumentation for the hot paths.
+
+A process-wide :class:`PerfRegistry` records named timing *spans* (via a
+context manager) and monotonic *counters*. Spans nest: a span opened while
+another is active is recorded under the parent's slash-separated path, so
+the report reads like a profile of the pipeline::
+
+    build                      1  12.41s
+    build/corpus               1   4.20s
+    build/preprocess           1   2.96s
+    build/preprocess/near-dup  1   1.10s
+
+The registry is always on — a span costs two ``perf_counter`` calls and a
+dict update — so library code can instrument unconditionally. Reporting is
+opt-in: the CLI prints the report after every command when the
+``REPRO_PERF`` environment variable is set, and ``python -m repro bench
+--profile`` additionally writes it to ``BENCH_PR1.json``. See
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "PerfRegistry",
+    "PerfStat",
+    "count",
+    "enabled",
+    "get_registry",
+    "render",
+    "report",
+    "reset",
+    "span",
+    "write_json",
+    "PERF_ENV",
+]
+
+PERF_ENV = "REPRO_PERF"
+
+
+def enabled() -> bool:
+    """True when ``REPRO_PERF`` asks for a report (any non-empty, non-0)."""
+    value = os.environ.get(PERF_ENV, "")
+    return value not in ("", "0", "false", "no")
+
+
+@dataclass
+class PerfStat:
+    """Accumulated statistics of one span/counter path."""
+
+    path: str
+    total_s: float = 0.0
+    calls: int = 0
+    count: int = 0
+
+    @property
+    def depth(self) -> int:
+        return self.path.count("/")
+
+    def as_dict(self) -> dict:
+        out: dict = {}
+        if self.calls:
+            out["total_s"] = self.total_s
+            out["calls"] = self.calls
+        if self.count:
+            out["count"] = self.count
+        return out
+
+
+class PerfRegistry:
+    """Nested span timers + counters, keyed by slash-joined paths."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._stats: dict[str, PerfStat] = {}
+        self._stack: list[str] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def _path(self, name: str) -> str:
+        return "/".join([*self._stack, name])
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a block; nested spans record under the active span's path."""
+        path = self._path(name)
+        self._stack.append(name)
+        start = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - start
+            self._stack.pop()
+            stat = self._stats.setdefault(path, PerfStat(path))
+            stat.total_s += elapsed
+            stat.calls += 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a counter under the currently active span path."""
+        path = self._path(name)
+        stat = self._stats.setdefault(path, PerfStat(path))
+        stat.count += n
+
+    def reset(self) -> None:
+        self._stats.clear()
+        self._stack.clear()
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> dict[str, PerfStat]:
+        return dict(self._stats)
+
+    def report(self) -> dict:
+        """Machine-readable report: ``{path: {total_s, calls, count}}``."""
+        return {
+            path: stat.as_dict()
+            for path, stat in sorted(self._stats.items())
+        }
+
+    def render(self) -> str:
+        """Monospace tree of every recorded path."""
+        if not self._stats:
+            return "(no spans recorded)"
+        lines = []
+        for path, stat in sorted(self._stats.items()):
+            indent = "  " * stat.depth
+            label = f"{indent}{path.rsplit('/', 1)[-1]}"
+            parts = []
+            if stat.calls:
+                parts.append(f"{stat.calls:>5}x {stat.total_s:9.3f}s")
+            if stat.count:
+                parts.append(f"count={stat.count}")
+            lines.append(f"{label:<42} {'  '.join(parts)}")
+        return "\n".join(lines)
+
+    def write_json(self, path: str | Path, extra: dict | None = None) -> Path:
+        """Write (or merge into) a JSON report file.
+
+        When ``path`` already holds a JSON object, the perf report is
+        merged under its ``"perf_report"`` key so benchmark metadata
+        written by other tools survives.
+        """
+        path = Path(path)
+        payload: dict = {}
+        if path.exists():
+            try:
+                existing = json.loads(path.read_text(encoding="utf-8"))
+                if isinstance(existing, dict):
+                    payload = existing
+            except (OSError, json.JSONDecodeError):
+                payload = {}
+        payload["perf_report"] = self.report()
+        if extra:
+            payload.update(extra)
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return path
+
+
+_REGISTRY = PerfRegistry()
+
+
+def get_registry() -> PerfRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def span(name: str):
+    return _REGISTRY.span(name)
+
+
+def count(name: str, n: int = 1) -> None:
+    _REGISTRY.count(name, n)
+
+
+def reset() -> None:
+    _REGISTRY.reset()
+
+
+def report() -> dict:
+    return _REGISTRY.report()
+
+
+def render() -> str:
+    return _REGISTRY.render()
+
+
+def write_json(path: str | Path, extra: dict | None = None) -> Path:
+    return _REGISTRY.write_json(path, extra)

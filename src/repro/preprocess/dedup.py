@@ -14,6 +14,7 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro import perf
 from repro.corpus.models import RedditPost
 
 _WORD_RE = re.compile(r"[a-z0-9']+")
@@ -56,11 +57,9 @@ class MinHasher:
         self._a = rng.integers(1, _MERSENNE_PRIME, size=num_perm, dtype=np.uint64)
         self._b = rng.integers(0, _MERSENNE_PRIME, size=num_perm, dtype=np.uint64)
 
-    def signature(self, shingle_set: set[str]) -> np.ndarray:
-        """MinHash signature (uint64 vector of length ``num_perm``)."""
-        if not shingle_set:
-            return np.full(self.num_perm, _MAX_HASH, dtype=np.uint64)
-        base = np.array(
+    @staticmethod
+    def _base_hashes(shingle_set: set[str]) -> np.ndarray:
+        return np.array(
             [
                 int.from_bytes(
                     hashlib.blake2b(s.encode(), digest_size=8).digest(), "little"
@@ -69,6 +68,29 @@ class MinHasher:
             ],
             dtype=np.uint64,
         )
+
+    def signature(self, shingle_set: set[str]) -> np.ndarray:
+        """MinHash signature (uint64 vector of length ``num_perm``).
+
+        One ``(n_shingles, num_perm)`` broadcast of ``(a·x + b) mod p``
+        followed by a column minimum — no per-permutation Python loop
+        (that predecessor survives as :meth:`_signature_reference`).
+        uint64 arithmetic wraps identically in both, so signatures are
+        bitwise equal.
+        """
+        if not shingle_set:
+            return np.full(self.num_perm, _MAX_HASH, dtype=np.uint64)
+        base = self._base_hashes(shingle_set)
+        hashed = (
+            self._a[None, :] * base[:, None] + self._b[None, :]
+        ) % _MERSENNE_PRIME
+        return hashed.min(axis=0) & np.uint64(_MAX_HASH)
+
+    def _signature_reference(self, shingle_set: set[str]) -> np.ndarray:
+        """Naive per-permutation predecessor, kept for equivalence tests."""
+        if not shingle_set:
+            return np.full(self.num_perm, _MAX_HASH, dtype=np.uint64)
+        base = self._base_hashes(shingle_set)
         # (a * x + b) mod p, min over shingles, per permutation.
         sig = np.empty(self.num_perm, dtype=np.uint64)
         for i in range(self.num_perm):
@@ -112,29 +134,41 @@ def remove_near_duplicates(
     """
     if num_perm % bands != 0:
         raise ValueError("num_perm must be divisible by bands")
-    ordered = sorted(posts, key=lambda p: (p.created_utc, p.post_id))
-    hasher = MinHasher(num_perm=num_perm)
-    shingle_sets = [shingles(p.text) for p in ordered]
-    sigs = [hasher.signature(s) for s in shingle_sets]
+    with perf.span("dedup.near"):
+        ordered = sorted(posts, key=lambda p: (p.created_utc, p.post_id))
+        hasher = MinHasher(num_perm=num_perm)
+        shingle_sets = [shingles(p.text) for p in ordered]
+        sigs = [hasher.signature(s) for s in shingle_sets]
 
-    rows = num_perm // bands
-    buckets: dict[tuple[int, bytes], list[int]] = defaultdict(list)
-    for idx, sig in enumerate(sigs):
-        for band in range(bands):
-            key = (band, sig[band * rows : (band + 1) * rows].tobytes())
-            buckets[key].append(idx)
+        rows = num_perm // bands
+        buckets: dict[tuple[int, bytes], list[int]] = defaultdict(list)
+        for idx, sig in enumerate(sigs):
+            for band in range(bands):
+                key = (band, sig[band * rows : (band + 1) * rows].tobytes())
+                buckets[key].append(idx)
 
-    drop: set[int] = set()
-    for members in buckets.values():
-        if len(members) < 2:
-            continue
-        for pos, i in enumerate(members):
-            if i in drop:
+        # A candidate pair typically collides in *several* bands; without
+        # memoisation the worst case (many near-identical posts) does the
+        # exact-Jaccard check ``bands`` times per pair. Confirmed
+        # duplicates short-circuit out entirely, and surviving pairs are
+        # checked at most once across all buckets.
+        drop: set[int] = set()
+        checked: set[tuple[int, int]] = set()
+        for members in buckets.values():
+            if len(members) < 2:
                 continue
-            for j in members[pos + 1 :]:
-                if j in drop:
+            for pos, i in enumerate(members):
+                if i in drop:
                     continue
-                if jaccard(shingle_sets[i], shingle_sets[j]) >= threshold:
-                    drop.add(j)  # j is later (ordered list)
-    kept = [p for idx, p in enumerate(ordered) if idx not in drop]
+                for j in members[pos + 1 :]:
+                    if j in drop:
+                        continue
+                    pair = (i, j)  # i < j: bucket members keep index order
+                    if pair in checked:
+                        continue
+                    checked.add(pair)
+                    perf.count("dedup.pairs_checked")
+                    if jaccard(shingle_sets[i], shingle_sets[j]) >= threshold:
+                        drop.add(j)  # j is later (ordered list)
+        kept = [p for idx, p in enumerate(ordered) if idx not in drop]
     return kept, len(drop)

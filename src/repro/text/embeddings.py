@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.nn.tensor import scatter_add_rows
 from repro.text.tokenizer import WordTokenizer
 from repro.text.vocab import Vocabulary
 
@@ -150,13 +151,9 @@ class SkipGramEmbeddings:
         grad_uo = g_pos[:, None] * v_c
         grad_un = g_neg[:, :, None] * v_c[:, None, :]
 
-        np.add.at(self.vectors, c_ids, -lr * grad_v)
-        np.add.at(self._context, o_ids, -lr * grad_uo)
-        np.add.at(
-            self._context,
-            neg_ids.reshape(-1),
-            -lr * grad_un.reshape(-1, self.config.dim),
-        )
+        scatter_add_rows(self.vectors, c_ids, -lr * grad_v)
+        scatter_add_rows(self._context, o_ids, -lr * grad_uo)
+        scatter_add_rows(self._context, neg_ids, -lr * grad_un)
         eps = 1e-10
         loss = -(
             np.log(pos_sig + eps).sum() + np.log(1.0 - neg_sig + eps).sum()

@@ -99,6 +99,51 @@ class TfidfVectorizer:
         return self
 
     def transform(self, documents: Iterable[str]) -> sparse.csr_matrix:
+        """Batched CSR construction.
+
+        All documents' term ids are concatenated once; counting, tf/idf
+        weighting, and row L2 norms are then single numpy passes keyed on
+        ``doc · |V| + term`` (no per-document Counter — that predecessor
+        survives as :meth:`_transform_reference`). ``np.unique`` sorts the
+        keys, so rows and in-row column order match the reference exactly.
+        """
+        if self.vocabulary_ is None or self.idf_ is None:
+            raise NotFittedError("TfidfVectorizer.transform before fit")
+        vocab = self.vocabulary_
+        n_vocab = len(vocab)
+        term_ids: list[int] = []
+        lengths: list[int] = []
+        for doc in documents:
+            ids = [vocab[t] for t in self._terms(doc) if t in vocab]
+            term_ids.extend(ids)
+            lengths.append(len(ids))
+        n_docs = len(lengths)
+        if not term_ids:
+            return sparse.csr_matrix((n_docs, n_vocab), dtype=np.float64)
+        doc_of = np.repeat(np.arange(n_docs, dtype=np.int64), lengths)
+        keys = doc_of * n_vocab + np.asarray(term_ids, dtype=np.int64)
+        uniq, counts = np.unique(keys, return_counts=True)
+        rows = uniq // n_vocab
+        cols = uniq % n_vocab
+        tf = counts.astype(np.float64)
+        weights = (1.0 + np.log(tf)) if self.sublinear_tf else tf
+        vals = weights * self.idf_[cols]
+        norms = np.sqrt(
+            np.bincount(rows, weights=vals * vals, minlength=n_docs)
+        )
+        norms[norms == 0.0] = 1.0
+        vals /= norms[rows]
+        indptr = np.searchsorted(rows, np.arange(n_docs + 1))
+        return sparse.csr_matrix(
+            (vals, cols, indptr),
+            shape=(n_docs, n_vocab),
+            dtype=np.float64,
+        )
+
+    def _transform_reference(
+        self, documents: Iterable[str]
+    ) -> sparse.csr_matrix:
+        """Per-document Counter predecessor, kept for equivalence tests."""
         if self.vocabulary_ is None or self.idf_ is None:
             raise NotFittedError("TfidfVectorizer.transform before fit")
         indptr = [0]

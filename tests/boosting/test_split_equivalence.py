@@ -1,0 +1,110 @@
+"""Vectorized split search must pick the same splits as its reference."""
+
+import numpy as np
+import pytest
+
+from repro.boosting.tree import RegressionTree, TreeParams
+
+
+def _split_inputs(tree, x, g, h):
+    rows = np.arange(x.shape[0])
+    cols = np.arange(x.shape[1])
+    return (
+        x,
+        g,
+        h,
+        rows,
+        cols,
+        float(g.sum()),
+        float(h.sum()),
+    )
+
+
+def assert_same_split(fast, slow):
+    if slow is None:
+        assert fast is None
+        return
+    assert fast is not None
+    gain_f, feat_f, thr_f, left_f, right_f = fast
+    gain_s, feat_s, thr_s, left_s, right_s = slow
+    assert gain_f == gain_s
+    assert int(feat_f) == int(feat_s)
+    assert thr_f == thr_s
+    np.testing.assert_array_equal(np.sort(left_f), np.sort(left_s))
+    np.testing.assert_array_equal(np.sort(right_f), np.sort(right_s))
+
+
+class TestSplitEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_data_identical_choice(self, seed):
+        rng = np.random.default_rng(seed)
+        n, f = 120, 5
+        x = rng.normal(size=(n, f))
+        g = rng.normal(size=n)
+        h = rng.uniform(0.5, 2.0, size=n)
+        tree = RegressionTree(TreeParams())
+        args = _split_inputs(tree, x, g, h)
+        assert_same_split(
+            tree._best_split(*args), tree._best_split_reference(*args)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tied_values_identical_choice(self, seed):
+        # Heavily quantised features exercise the boundary/tie logic.
+        rng = np.random.default_rng(100 + seed)
+        x = rng.integers(0, 4, size=(80, 4)).astype(float)
+        g = rng.normal(size=80)
+        h = np.ones(80)
+        tree = RegressionTree(TreeParams(min_child_weight=3.0, gamma=0.1))
+        args = _split_inputs(tree, x, g, h)
+        assert_same_split(
+            tree._best_split(*args), tree._best_split_reference(*args)
+        )
+
+    def test_constant_features_no_split(self):
+        x = np.ones((30, 3))
+        g = np.linspace(-1, 1, 30)
+        h = np.ones(30)
+        tree = RegressionTree(TreeParams())
+        args = _split_inputs(tree, x, g, h)
+        assert tree._best_split(*args) is None
+        assert tree._best_split_reference(*args) is None
+
+    def test_min_child_weight_blocks_both(self):
+        x = np.array([[0.0], [1.0]])
+        g = np.array([1.0, -1.0])
+        h = np.ones(2)
+        tree = RegressionTree(TreeParams(min_child_weight=5.0))
+        args = _split_inputs(tree, x, g, h)
+        assert tree._best_split(*args) is None
+        assert tree._best_split_reference(*args) is None
+
+    def test_row_and_column_subsets(self):
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(60, 6))
+        g = rng.normal(size=60)
+        h = rng.uniform(0.5, 1.5, size=60)
+        rows = np.sort(rng.choice(60, size=40, replace=False))
+        cols = np.array([1, 3, 4])
+        tree = RegressionTree(TreeParams())
+        args = (x, g, h, rows, cols, float(g[rows].sum()), float(h[rows].sum()))
+        assert_same_split(
+            tree._best_split(*args), tree._best_split_reference(*args)
+        )
+
+
+class TestTreeEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_full_tree_identical_predictions(self, seed, monkeypatch):
+        rng = np.random.default_rng(200 + seed)
+        x = rng.normal(size=(150, 4))
+        y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(float)
+        g = np.zeros(150) - y
+        h = np.ones(150)
+        fast = RegressionTree(TreeParams(max_depth=4)).fit(x, g, h)
+        monkeypatch.setattr(
+            RegressionTree, "_best_split", RegressionTree._best_split_reference
+        )
+        slow = RegressionTree(TreeParams(max_depth=4)).fit(x, g, h)
+        np.testing.assert_array_equal(fast.predict(x), slow.predict(x))
+        assert fast.feature_gains == slow.feature_gains

@@ -18,6 +18,15 @@ class TestParser:
     def test_bench_choices(self):
         args = build_parser().parse_args(["bench", "table1"])
         assert args.experiment == "table1"
+        assert args.profile is False
+        assert args.profile_output == "BENCH_PR1.json"
+
+    def test_bench_profile_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "table1", "--profile", "--profile-output", "out.json"]
+        )
+        assert args.profile is True
+        assert args.profile_output == "out.json"
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -46,3 +55,32 @@ class TestCommands:
         capsys.readouterr()
         assert main(["datacard", str(out)]) == 0
         assert "## Composition" in capsys.readouterr().out
+
+    def test_bench_profile_writes_report(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        from repro import perf
+        from repro.experiments import table1_distribution
+
+        def fake_main():
+            with perf.span("fake-experiment"):
+                pass
+
+        monkeypatch.setattr(table1_distribution, "main", fake_main)
+        out = tmp_path / "bench.json"
+        code = main(
+            ["bench", "table1", "--profile", "--profile-output", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "perf profile" in printed
+        assert "fake-experiment" in printed
+        payload = json.loads(out.read_text())
+        assert "fake-experiment" in payload["perf_report"]
+        assert payload["experiment"] == "table1"
+
+    def test_perf_env_prints_report(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF", "1")
+        out = tmp_path / "ds.jsonl"
+        assert main(["build", "--scale", "0.02", "--output", str(out)]) == 0
+        assert "perf profile" in capsys.readouterr().out

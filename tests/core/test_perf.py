@@ -1,0 +1,123 @@
+"""Tests for the hierarchical perf span/counter registry."""
+
+import json
+
+import pytest
+
+from repro import perf
+from repro.perf import PerfRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRegistry:
+    def test_span_records_time_and_calls(self):
+        clock = FakeClock()
+        reg = PerfRegistry(clock=clock)
+        with reg.span("build"):
+            clock.now += 2.0
+        with reg.span("build"):
+            clock.now += 1.0
+        stat = reg.stats()["build"]
+        assert stat.total_s == pytest.approx(3.0)
+        assert stat.calls == 2
+
+    def test_nested_spans_use_slash_paths(self):
+        clock = FakeClock()
+        reg = PerfRegistry(clock=clock)
+        with reg.span("build"):
+            with reg.span("corpus"):
+                clock.now += 1.0
+            with reg.span("preprocess"):
+                clock.now += 0.5
+        paths = set(reg.stats())
+        assert paths == {"build", "build/corpus", "build/preprocess"}
+        assert reg.stats()["build"].total_s == pytest.approx(1.5)
+
+    def test_stack_unwinds_on_exception(self):
+        reg = PerfRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("outer"):
+                raise RuntimeError("boom")
+        with reg.span("other"):
+            pass
+        assert "other" in reg.stats()  # not "outer/other"
+
+    def test_counters_nest_under_active_span(self):
+        reg = PerfRegistry()
+        with reg.span("dedup"):
+            reg.count("pairs", 3)
+            reg.count("pairs", 2)
+        assert reg.stats()["dedup/pairs"].count == 5
+
+    def test_reset_clears_everything(self):
+        reg = PerfRegistry()
+        with reg.span("a"):
+            reg.count("b")
+        reg.reset()
+        assert reg.stats() == {}
+
+    def test_report_and_render(self):
+        clock = FakeClock()
+        reg = PerfRegistry(clock=clock)
+        with reg.span("fit"):
+            clock.now += 1.25
+            reg.count("rounds", 4)
+        report = reg.report()
+        assert report["fit"]["total_s"] == pytest.approx(1.25)
+        assert report["fit"]["calls"] == 1
+        assert report["fit/rounds"]["count"] == 4
+        rendered = reg.render()
+        assert "fit" in rendered
+        assert "count=4" in rendered
+
+    def test_render_empty(self):
+        assert "no spans" in PerfRegistry().render()
+
+
+class TestWriteJson:
+    def test_writes_report(self, tmp_path):
+        reg = PerfRegistry(clock=FakeClock())
+        with reg.span("x"):
+            pass
+        out = reg.write_json(tmp_path / "bench.json", extra={"scale": 0.05})
+        payload = json.loads(out.read_text())
+        assert "x" in payload["perf_report"]
+        assert payload["scale"] == 0.05
+
+    def test_merges_into_existing_file(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"benchmarks": {"warm": 1.0}}))
+        reg = PerfRegistry(clock=FakeClock())
+        with reg.span("y"):
+            pass
+        reg.write_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["benchmarks"] == {"warm": 1.0}
+        assert "y" in payload["perf_report"]
+
+
+class TestModuleLevelApi:
+    def test_default_registry_roundtrip(self):
+        perf.reset()
+        with perf.span("test-span"):
+            perf.count("ticks")
+        try:
+            assert perf.report()["test-span"]["calls"] == 1
+            assert perf.report()["test-span/ticks"]["count"] == 1
+        finally:
+            perf.reset()
+
+    def test_enabled_reads_env(self, monkeypatch):
+        monkeypatch.delenv(perf.PERF_ENV, raising=False)
+        assert not perf.enabled()
+        monkeypatch.setenv(perf.PERF_ENV, "0")
+        assert not perf.enabled()
+        monkeypatch.setenv(perf.PERF_ENV, "1")
+        assert perf.enabled()

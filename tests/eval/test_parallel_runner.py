@@ -1,0 +1,60 @@
+"""Parallel run_repeated must reproduce the serial reports bitwise."""
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.eval.runner import _default_jobs, run_repeated
+
+
+def _report_tuple(report):
+    return (
+        report.model,
+        report.accuracy,
+        report.macro_f1,
+        tuple(sorted((int(k), v) for k, v in report.class_f1.items())),
+        report.confusion.tobytes(),
+    )
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_bitwise(self, small_splits):
+        seeds = (0, 1, 2)
+        serial = run_repeated("logreg", small_splits, seeds=seeds, n_jobs=1)
+        parallel = run_repeated("logreg", small_splits, seeds=seeds, n_jobs=2)
+        assert len(serial.reports) == len(parallel.reports) == len(seeds)
+        for a, b in zip(serial.reports, parallel.reports):
+            assert _report_tuple(a) == _report_tuple(b)
+
+    def test_seed_order_preserved(self, small_splits):
+        result = run_repeated("logreg", small_splits, seeds=(3, 1), n_jobs=2)
+        baseline = run_repeated("logreg", small_splits, seeds=(3, 1), n_jobs=1)
+        values = result.summary("accuracy").values
+        assert values == baseline.summary("accuracy").values
+
+    def test_single_seed_stays_serial(self, small_splits):
+        result = run_repeated("logreg", small_splits, seeds=(0,), n_jobs=4)
+        assert len(result.reports) == 1
+
+
+class TestValidation:
+    def test_no_seeds_rejected(self, small_splits):
+        with pytest.raises(ExperimentError):
+            run_repeated("logreg", small_splits, seeds=())
+
+    def test_bad_n_jobs_rejected(self, small_splits):
+        with pytest.raises(ExperimentError):
+            run_repeated("logreg", small_splits, seeds=(0,), n_jobs=0)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SEED_JOBS", raising=False)
+        assert _default_jobs() == 1
+        monkeypatch.setenv("REPRO_SEED_JOBS", "3")
+        assert _default_jobs() == 3
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED_JOBS", "lots")
+        with pytest.raises(ExperimentError):
+            _default_jobs()
+        monkeypatch.setenv("REPRO_SEED_JOBS", "0")
+        with pytest.raises(ExperimentError):
+            _default_jobs()

@@ -69,3 +69,15 @@ class TestStabilityModule:
         result = stability.run(SCALE, model="xgboost", seeds=(0, 1))
         assert len(result.reports) == 2
         assert "accuracy" in stability.render(result)
+
+
+class TestParallelAblation:
+    def test_window_ablation_parallel_matches_serial(self):
+        from repro.experiments.ablations import window_size_ablation
+
+        serial = window_size_ablation(SCALE, sizes=(1, 3), n_jobs=1)
+        parallel = window_size_ablation(SCALE, sizes=(1, 3), n_jobs=2)
+        assert [r.name for r in serial] == [r.name for r in parallel]
+        for a, b in zip(serial, parallel):
+            assert a.accuracy_pct == b.accuracy_pct
+            assert a.macro_f1_pct == b.macro_f1_pct

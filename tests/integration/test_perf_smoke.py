@@ -1,0 +1,77 @@
+"""Fast perf sanity checks (``-m perf_smoke``; scripts/bench_smoke.py).
+
+Each test times a vectorized kernel against its ``_reference`` twin on a
+workload large enough that the vectorized path should win comfortably; the
+assertions use generous margins so a loaded CI machine doesn't flake.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.boosting.tree import RegressionTree, TreeParams
+from repro.core.cache import BuildCache, build_dataset_cached, fingerprint
+from repro.core.config import AnnotationConfig, CorpusConfig
+from repro.preprocess.dedup import MinHasher, shingles
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def _clock(fn, repeats=3):
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class TestKernelSmoke:
+    def test_split_scan_beats_reference(self):
+        # Node-level workload: many scans at the few-hundred-row node
+        # sizes a growing tree actually sees.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 20))
+        g = rng.normal(size=200)
+        h = np.ones(200)
+        tree = RegressionTree(TreeParams())
+        rows = np.arange(200)
+        cols = np.arange(20)
+        args = (x, g, h, rows, cols, float(g.sum()), float(h.sum()))
+        fast = _clock(lambda: [tree._best_split(*args) for _ in range(50)])
+        slow = _clock(
+            lambda: [tree._best_split_reference(*args) for _ in range(50)]
+        )
+        assert tree._best_split(*args)[1] == tree._best_split_reference(*args)[1]
+        assert fast < slow  # usually ~3x below; margin for CI noise
+
+    def test_minhash_beats_reference(self):
+        hasher = MinHasher(num_perm=128)
+        sets = [
+            shingles(f"sample text number {i} with several shared words " * 3)
+            for i in range(50)
+        ]
+        fast = _clock(lambda: [hasher.signature(s) for s in sets])
+        slow = _clock(lambda: [hasher._signature_reference(s) for s in sets])
+        assert fast < slow * 1.5
+
+
+class TestCacheSmoke:
+    def test_warm_cache_beats_cold_build(self, tmp_path):
+        config = CorpusConfig().scaled(0.05)
+        annotation = AnnotationConfig(seed=config.seed)
+        cache = BuildCache(root=tmp_path / "cache")
+        start = time.perf_counter()
+        cold = build_dataset_cached(
+            config, annotation, near_dedup=False, cache=cache
+        )
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = build_dataset_cached(
+            config, annotation, near_dedup=False, cache=cache
+        )
+        warm_s = time.perf_counter() - start
+        assert cache.has(fingerprint(config, annotation, True, False))
+        assert warm.dataset.labels == cold.dataset.labels
+        assert warm_s < cold_s  # disk load vs full pipeline

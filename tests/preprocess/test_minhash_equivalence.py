@@ -1,0 +1,42 @@
+"""Broadcast MinHash signatures must be bitwise equal to the loop version."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.preprocess.dedup import MinHasher, shingles
+
+
+class TestSignatureEquivalence:
+    @pytest.mark.parametrize("num_perm", [16, 64, 128])
+    def test_bitwise_equal(self, num_perm):
+        hasher = MinHasher(num_perm=num_perm)
+        s = shingles(
+            "the quick brown fox jumps over the lazy dog and naps afterwards"
+        )
+        fast = hasher.signature(s)
+        slow = hasher._signature_reference(s)
+        assert fast.dtype == slow.dtype == np.uint64
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_empty_set(self):
+        hasher = MinHasher(num_perm=16)
+        np.testing.assert_array_equal(
+            hasher.signature(set()), hasher._signature_reference(set())
+        )
+
+    def test_single_shingle(self):
+        hasher = MinHasher(num_perm=32)
+        np.testing.assert_array_equal(
+            hasher.signature({"only"}), hasher._signature_reference({"only"})
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="abcdefgh ", min_size=0, max_size=80))
+    def test_property_bitwise_equal(self, text):
+        hasher = MinHasher(num_perm=16)
+        s = shingles(text)
+        np.testing.assert_array_equal(
+            hasher.signature(s), hasher._signature_reference(s)
+        )

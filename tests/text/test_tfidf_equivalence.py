@@ -1,0 +1,59 @@
+"""Batched TF-IDF transform vs the per-document Counter reference."""
+
+import numpy as np
+import pytest
+
+from repro.text.tfidf import TfidfVectorizer
+
+DOCS = [
+    "the cat sat on the mat",
+    "the dog sat on the log",
+    "cats and dogs and cats again",
+    "a completely unrelated sentence about boats",
+    "the the the repeated token stress test the",
+]
+
+
+def assert_same_csr(fast, slow):
+    assert fast.shape == slow.shape
+    np.testing.assert_array_equal(fast.indptr, slow.indptr)
+    np.testing.assert_array_equal(fast.indices, slow.indices)
+    np.testing.assert_allclose(fast.data, slow.data, atol=1e-8)
+
+
+class TestTransformEquivalence:
+    @pytest.mark.parametrize("sublinear", [True, False])
+    def test_matches_reference(self, sublinear):
+        vec = TfidfVectorizer(
+            min_df=1, sublinear_tf=sublinear, drop_stopwords=False
+        )
+        vec.fit(DOCS)
+        assert_same_csr(vec.transform(DOCS), vec._transform_reference(DOCS))
+
+    def test_bigrams_match(self):
+        vec = TfidfVectorizer(min_df=1, ngram_range=(1, 2), drop_stopwords=False)
+        vec.fit(DOCS)
+        assert_same_csr(vec.transform(DOCS), vec._transform_reference(DOCS))
+
+    def test_out_of_vocabulary_and_empty_docs(self):
+        vec = TfidfVectorizer(min_df=1, drop_stopwords=False)
+        vec.fit(DOCS)
+        queries = ["", "zzz qqq unseen tokens only", "the cat", "   "]
+        assert_same_csr(
+            vec.transform(queries), vec._transform_reference(queries)
+        )
+
+    def test_all_empty_batch(self):
+        vec = TfidfVectorizer(min_df=1, drop_stopwords=False)
+        vec.fit(DOCS)
+        fast = vec.transform(["", ""])
+        slow = vec._transform_reference(["", ""])
+        assert fast.shape == slow.shape
+        assert fast.nnz == slow.nnz == 0
+
+    def test_fit_transform_uses_fast_path(self):
+        vec = TfidfVectorizer(min_df=1, drop_stopwords=False)
+        matrix = vec.fit_transform(DOCS)
+        # L2-normalised rows
+        norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1))).ravel()
+        np.testing.assert_allclose(norms[norms > 0], 1.0, atol=1e-8)
