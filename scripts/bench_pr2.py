@@ -1,0 +1,241 @@
+"""PR 2 benchmark: serving throughput, incremental BPE, bucketed eval.
+
+Writes machine-readable results to BENCH_PR2.json. "before" numbers run
+the retained reference paths (per-window scoring, `_train_reference`,
+unbucketed batches); "after" numbers run the shipped fast paths.
+
+Targets (the acceptance floors, checked at exit):
+  * serve: engine `predict_many` >= 3x per-window `predict_proba`,
+    bitwise-identical labels;
+  * BPE: incremental trainer >= 5x the rescan reference at 2000 merges,
+    identical merge table;
+  * bucketed eval: pad-waste ratio strictly reduced, bitwise-identical
+    label predictions.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_pr2.py [scale] [output.json]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import perf
+from repro.core.config import CorpusConfig
+from repro.core.pipeline import build_dataset
+from repro.models.neural_common import (
+    TrainerConfig,
+    flat_lengths,
+    pad_waste_ratio,
+    predict_classifier,
+    predict_proba_classifier,
+)
+from repro.models.plm import PLMConfig
+from repro.models.roberta import RobertaRiskModel
+from repro.nn import no_grad
+from repro.serve import EngineConfig, run_serve_bench
+from repro.temporal.windows import PostWindow
+from repro.text.bpe import BPETokenizer
+
+
+def bpe_bench_frequencies(texts: list[str], tail_words: int = 6000):
+    """Word-frequency table for the BPE bench: corpus words plus a
+    deterministic synthetic long tail.
+
+    The template-generated corpus saturates at ~500 unique words — far
+    too few distinct pairs to learn 2000 merges (real Reddit vocabulary
+    is open-ended). The tail restores realistic lexical diversity so the
+    requested merge budget is actually exercised.
+    """
+    bpe = BPETokenizer(num_merges=1)
+    word_freq = bpe._word_frequencies(texts)
+    rng = np.random.default_rng(0)
+    letters = np.array(list("abcdefghijklmnopqrstuvwxyz"))
+    for _ in range(tail_words):
+        length = int(rng.integers(4, 13))
+        word = "".join(rng.choice(letters, size=length))
+        word_freq[word] += int(rng.integers(2, 40))
+    return word_freq
+
+
+def bench_bpe(texts: list[str], num_merges: int = 2000) -> dict:
+    """Merge learning, fast vs reference, on one shared frequency table.
+
+    Tokenisation (`_word_frequencies`) is identical input prep for both
+    trainers, so it is computed once outside the timed region — the
+    numbers compare the training algorithms, not the shared text pass.
+    """
+    word_freq = bpe_bench_frequencies(texts)
+    start = time.perf_counter()
+    fast = BPETokenizer(num_merges=num_merges).train_from_frequencies(word_freq)
+    after = time.perf_counter() - start
+    start = time.perf_counter()
+    ref = BPETokenizer(num_merges=num_merges)._train_reference_from_frequencies(
+        word_freq
+    )
+    before = time.perf_counter() - start
+    return {
+        "num_merges": num_merges,
+        "texts": len(texts),
+        "unique_words": len(word_freq),
+        "merges_learned": len(fast.merges),
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "merge_tables_equal": fast.merges == ref.merges,
+    }
+
+
+def train_small_plm(splits, pretrain_texts):
+    model = RobertaRiskModel(
+        config=PLMConfig(dim=16, num_layers=1, num_heads=2, ffn_hidden=32,
+                         max_len=96),
+        trainer=TrainerConfig(epochs=2, batch_size=16, patience=3, seed=0),
+        pretrain_texts=pretrain_texts[:2000],
+        pretrain_steps=30,
+        seed=0,
+    )
+    model.fit(splits.train, splits.validation)
+    return model
+
+
+def single_post_windows(windows):
+    """Explode user windows into one-post windows — the serving unit.
+
+    A deployed scorer sees posts one at a time as they arrive; these are
+    also length-diverse (posts vary from a few to ~50 tokens) where full
+    user windows all truncate to ``max_len``, so they exercise both the
+    micro-batcher and length bucketing realistically.
+    """
+    return [
+        PostWindow(author=w.author, posts=(post,), label=w.label)
+        for w in windows
+        for post in w.posts
+    ]
+
+
+def bench_serve(model, windows, requests: int = 384) -> dict:
+    result = run_serve_bench(
+        model, windows, requests=requests,
+        config=EngineConfig(max_batch_size=32),
+    )
+    return result.as_dict()
+
+
+def bench_bucketed(model, windows, batch_size: int = 32) -> dict:
+    encoded = model.pipeline.encode(windows)
+    lengths = flat_lengths(encoded)
+    max_len = model.config.max_len
+
+    def run(bucketed: bool):
+        start = time.perf_counter()
+        labels = predict_classifier(
+            model.network, model._forward, encoded,
+            batch_size=batch_size, bucket_by_length=bucketed,
+        )
+        return labels, time.perf_counter() - start
+
+    labels_after, after = run(True)
+    labels_before, before = run(False)
+    probs_after = predict_proba_classifier(
+        model.network, model._forward, encoded, bucket_by_length=True
+    )
+    probs_before = predict_proba_classifier(
+        model.network, model._forward, encoded, bucket_by_length=False
+    )
+    return {
+        "windows": len(windows),
+        "batch_size": batch_size,
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "pad_waste_before": pad_waste_ratio(lengths, batch_size, max_len),
+        "pad_waste_after": pad_waste_ratio(
+            lengths, batch_size, max_len, bucket_by_length=True
+        ),
+        "labels_identical": bool(np.array_equal(labels_before, labels_after)),
+        "max_prob_diff": float(np.abs(probs_before - probs_after).max()),
+    }
+
+
+def bench_no_grad(model, windows) -> dict:
+    encoded = model.pipeline.encode(windows)
+    idx = np.arange(len(encoded))
+    model.network.eval()
+
+    def grad_forward():
+        model._forward(encoded, idx)
+
+    def nograd_forward():
+        with no_grad():
+            model._forward(encoded, idx)
+
+    def best_of(fn, repeats=3):
+        best = np.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    before = best_of(grad_forward)
+    after = best_of(nograd_forward)
+    model.network.train()
+    return {"before_s": before, "after_s": after, "speedup": before / after}
+
+
+def main(argv: list[str]) -> int:
+    scale = float(argv[0]) if argv else 0.1
+    output = Path(argv[1]) if len(argv) > 1 else Path("BENCH_PR2.json")
+
+    perf.reset()
+    print(f"bench_pr2: scale={scale}")
+    results: dict = {"scale": scale}
+
+    build = build_dataset(CorpusConfig().scaled(scale), near_dedup=False)
+    splits = build.dataset.splits()
+    pretrain = build.dataset.pretrain_texts
+
+    results["bpe_train"] = bench_bpe(pretrain[:4000])
+
+    model = train_small_plm(splits, pretrain)
+    windows = single_post_windows(
+        (splits.test or []) + (splits.validation or []) + splits.train
+    )
+    results["serve"] = bench_serve(model, windows[:64])
+    results["bucketed_eval"] = bench_bucketed(model, windows)
+    results["no_grad_forward"] = bench_no_grad(model, windows[:64])
+
+    checks = {
+        "serve_3x": results["serve"]["speedup"] >= 3.0,
+        "serve_labels_identical": results["serve"]["labels_identical"],
+        "bpe_5x": results["bpe_train"]["speedup"] >= 5.0,
+        "bpe_merges_equal": results["bpe_train"]["merge_tables_equal"],
+        "bucketed_less_pad_waste": (
+            results["bucketed_eval"]["pad_waste_after"]
+            < results["bucketed_eval"]["pad_waste_before"]
+        ),
+        "bucketed_labels_identical": results["bucketed_eval"]["labels_identical"],
+    }
+    results["checks"] = checks
+
+    for name, stats in results.items():
+        if isinstance(stats, dict) and "speedup" in stats:
+            print(f"  {name:<16} {stats['speedup']:6.1f}x")
+    waste = results["bucketed_eval"]
+    print(f"  pad waste        {waste['pad_waste_before']:.3f} -> "
+          f"{waste['pad_waste_after']:.3f}")
+    for name, ok in checks.items():
+        print(f"  check {name:<26} {'PASS' if ok else 'FAIL'}")
+
+    perf.write_json(output, extra={"benchmarks": results})
+    print(f"wrote {output}")
+    return 0 if all(checks.values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -2,11 +2,13 @@
 
 Commands
 --------
-build      Build a dataset and write it to JSONL.
-stats      Print Table-I-style statistics of a JSONL dataset.
-evaluate   Train a baseline on a freshly built dataset and report metrics.
-bench      Run one paper experiment (table1..table4, fig1, fig23, fig4,
-           kappa, ablations).
+build       Build a dataset and write it to JSONL.
+stats       Print Table-I-style statistics of a JSONL dataset.
+evaluate    Train a baseline on a freshly built dataset and report metrics.
+bench       Run one paper experiment (table1..table4, fig1, fig23, fig4,
+            kappa, ablations).
+serve-bench Train a baseline, then benchmark the micro-batched
+            InferenceEngine against per-window scoring.
 """
 
 from __future__ import annotations
@@ -125,6 +127,49 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    from repro.serve import EngineConfig, run_serve_bench
+
+    result = build_dataset(_config(args))
+    splits = result.dataset.splits()
+    kwargs = {}
+    if args.model in ("roberta", "deberta"):
+        kwargs["pretrain_texts"] = result.dataset.pretrain_texts[:6000]
+        kwargs["pretrain_steps"] = args.pretrain_steps
+    from repro.models import create_model
+
+    model = create_model(args.model, **kwargs)
+    model.fit(splits.train, splits.validation)
+
+    bench = run_serve_bench(
+        model,
+        splits.test,
+        requests=args.requests,
+        config=EngineConfig(
+            max_batch_size=args.batch_size,
+            max_wait_s=args.max_wait_s,
+            num_workers=args.num_workers,
+        ),
+    )
+    print(f"serve-bench: model={args.model} requests={bench.requests} "
+          f"batch_size={args.batch_size}")
+    print(f"  per-window   {bench.before_throughput:10.1f} req/s "
+          f"({bench.before_s:.3f}s)")
+    print(f"  engine       {bench.after_throughput:10.1f} req/s "
+          f"({bench.after_s:.3f}s)")
+    print(f"  speedup      {bench.speedup:10.1f}x")
+    print(f"  labels identical: {bench.labels_identical}   "
+          f"max prob diff: {bench.max_prob_diff:.2e}")
+    stats = bench.engine_stats
+    print(f"  batches: {stats['batches']}  "
+          f"mean batch: {stats['mean_batch_size']:.1f}  "
+          f"token cache hits: {stats['tokenization_cache']['hits']}")
+    if args.output:
+        out = perf.write_json(args.output, extra={"serve_bench": bench.as_dict()})
+        print(f"wrote serve bench report to {out}")
+    return 0 if bench.labels_identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RSD-15K reproduction toolkit"
@@ -170,6 +215,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON file the perf report is merged into (default BENCH_PR1.json)",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark micro-batched serving against per-window scoring",
+    )
+    _add_scale(p_serve)
+    p_serve.add_argument(
+        "--model", default="logreg",
+        choices=["xgboost", "bilstm", "higru", "roberta", "deberta", "logreg"],
+    )
+    p_serve.add_argument("--requests", type=int, default=256,
+                         help="total scoring requests (test windows, cycled)")
+    p_serve.add_argument("--batch-size", type=int, default=32,
+                         help="engine max_batch_size")
+    p_serve.add_argument("--max-wait-s", type=float, default=0.005,
+                         help="micro-batcher wait for stragglers")
+    p_serve.add_argument("--num-workers", type=int, default=1,
+                         help="threads executing coalesced batches")
+    p_serve.add_argument("--pretrain-steps", type=int, default=100,
+                         help="MLM steps for the PLM models")
+    p_serve.add_argument("--output", default=None,
+                         help="merge results + perf report into this JSON")
+    p_serve.set_defaults(func=cmd_serve_bench)
     return parser
 
 

@@ -7,6 +7,7 @@ import abc
 import numpy as np
 
 from repro.core.errors import ModelError, NotFittedError
+from repro.core.schema import NUM_CLASSES
 from repro.temporal.windows import PostWindow
 
 
@@ -34,6 +35,10 @@ class RiskModel(abc.ABC):
     def _predict(self, windows: list[PostWindow]) -> np.ndarray:
         """Model-specific inference (returns int labels)."""
 
+    def _predict_proba(self, windows: list[PostWindow]) -> np.ndarray:
+        """Model-specific probability scoring; override where supported."""
+        raise ModelError(f"{self.name}: probabilities not supported")
+
     def fit(
         self,
         train: list[PostWindow],
@@ -51,6 +56,14 @@ class RiskModel(abc.ABC):
         if not windows:
             return np.zeros(0, dtype=np.int64)
         return np.asarray(self._predict(windows), dtype=np.int64)
+
+    def predict_proba(self, windows: list[PostWindow]) -> np.ndarray:
+        """(N, C) class probabilities; the serving engine's scoring path."""
+        if not self._fitted:
+            raise NotFittedError(f"{self.name}: predict_proba before fit")
+        if not windows:
+            return np.zeros((0, NUM_CLASSES))
+        return np.asarray(self._predict_proba(windows), dtype=np.float64)
 
 
 def window_labels(windows: list[PostWindow]) -> np.ndarray:

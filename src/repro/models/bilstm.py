@@ -21,6 +21,7 @@ from repro.models.neural_common import (
     collate_post_grid,
     collate_time,
     predict_classifier,
+    predict_proba_classifier,
     train_classifier,
 )
 from repro.nn import (
@@ -166,3 +167,7 @@ class TimeAwareBiLSTM(RiskModel):
     def _predict(self, windows: list[PostWindow]) -> np.ndarray:
         encoded = self.pipeline.encode(windows)
         return predict_classifier(self.network, self._forward, encoded)
+
+    def _predict_proba(self, windows: list[PostWindow]) -> np.ndarray:
+        encoded = self.pipeline.encode(windows)
+        return predict_proba_classifier(self.network, self._forward, encoded)

@@ -20,6 +20,7 @@ from repro.models.neural_common import (
     collate_post_grid,
     collate_time,
     predict_classifier,
+    predict_proba_classifier,
     train_classifier,
 )
 from repro.nn import Dropout, Embedding, GRU, LayerNorm, Linear, Tensor
@@ -170,3 +171,7 @@ class HiGRU(RiskModel):
     def _predict(self, windows: list[PostWindow]) -> np.ndarray:
         encoded = self.pipeline.encode(windows)
         return predict_classifier(self.network, self._forward, encoded)
+
+    def _predict_proba(self, windows: list[PostWindow]) -> np.ndarray:
+        encoded = self.pipeline.encode(windows)
+        return predict_proba_classifier(self.network, self._forward, encoded)

@@ -131,5 +131,5 @@ class LogisticBaseline(RiskModel):
     def _predict(self, windows: list[PostWindow]) -> np.ndarray:
         return self.classifier.predict(self.framework.transform(windows))
 
-    def predict_proba(self, windows: list[PostWindow]) -> np.ndarray:
+    def _predict_proba(self, windows: list[PostWindow]) -> np.ndarray:
         return self.classifier.predict_proba(self.framework.transform(windows))

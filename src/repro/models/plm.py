@@ -105,9 +105,11 @@ def mask_tokens(
     inputs[to_mask] = vocab.mask_id
     num_random = int(to_random.sum())
     if num_random:
+        # Draw from the non-special id range [num_special, len(vocab)).
+        offset = vocab.num_special
         inputs[to_random] = rng.integers(
-            len(vocab.tokens()) - 5, size=num_random
-        ) + 5  # avoid special ids
+            len(vocab) - offset, size=num_random
+        ) + offset
     return inputs, targets
 
 

@@ -23,6 +23,7 @@ from repro.models.neural_common import (
     collate_flat_tokens,
     collate_time,
     predict_classifier,
+    predict_proba_classifier,
     train_classifier,
 )
 from repro.models.plm import MLMResult, PLMConfig, pretrain_mlm
@@ -164,3 +165,7 @@ class RobertaRiskModel(RiskModel):
     def _predict(self, windows: list[PostWindow]) -> np.ndarray:
         encoded = self.pipeline.encode(windows)
         return predict_classifier(self.network, self._forward, encoded)
+
+    def _predict_proba(self, windows: list[PostWindow]) -> np.ndarray:
+        encoded = self.pipeline.encode(windows)
+        return predict_proba_classifier(self.network, self._forward, encoded)

@@ -47,9 +47,7 @@ class XGBoostBaseline(RiskModel):
     def _predict(self, windows: list[PostWindow]) -> np.ndarray:
         return self.booster.predict(self.framework.transform(windows))
 
-    def predict_proba(self, windows: list[PostWindow]) -> np.ndarray:
-        if self.booster is None:
-            raise RuntimeError("predict_proba before fit")
+    def _predict_proba(self, windows: list[PostWindow]) -> np.ndarray:
         return self.booster.predict_proba(self.framework.transform(windows))
 
     # -- feature-importance analysis (paper §III-A1, 2nd paragraph) ------------

@@ -35,7 +35,7 @@ from repro.nn.optim import (
 )
 from repro.nn.rnn import GRU, GRUCell, LSTM, LSTMCell
 from repro.nn.serialize import load_checkpoint, save_checkpoint
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
 from repro.nn.transformer import (
     DisentangledTransformerEncoder,
     EncoderLayer,
@@ -81,6 +81,8 @@ __all__ = [
     "load_checkpoint",
     "save_checkpoint",
     "Tensor",
+    "is_grad_enabled",
+    "no_grad",
     "DisentangledTransformerEncoder",
     "EncoderLayer",
     "FeedForward",

@@ -3,6 +3,8 @@ disentangled attention with relative position encodings."""
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.core.errors import ShapeError
@@ -131,6 +133,21 @@ def relative_position_index(length: int, max_distance: int) -> np.ndarray:
     return np.clip(rel, -max_distance, max_distance) + max_distance
 
 
+@lru_cache(maxsize=256)
+def _gather_indices(length: int, max_distance: int) -> tuple[np.ndarray, np.ndarray]:
+    """Memoised ``(rows, index)`` gather pair for disentangled attention.
+
+    Serving runs the same sequence lengths over and over; rebuilding the
+    (T, T) bucket matrix and row arange per forward is pure waste. The
+    arrays are marked read-only because they are shared across calls.
+    """
+    idx = relative_position_index(length, max_distance)
+    rows = np.arange(length)[:, None]
+    idx.setflags(write=False)
+    rows.setflags(write=False)
+    return rows, idx
+
+
 class DisentangledSelfAttention(Module):
     """DeBERTa-style disentangled attention.
 
@@ -184,12 +201,11 @@ class DisentangledSelfAttention(Module):
         kr = kr.reshape(buckets, self.num_heads, self.head_dim).transpose(1, 0, 2)
         qr = qr.reshape(buckets, self.num_heads, self.head_dim).transpose(1, 0, 2)
 
-        idx = relative_position_index(steps, self.max_relative_distance)
+        rows, idx = _gather_indices(steps, self.max_relative_distance)
 
         c2c = qc @ kc.swapaxes(-1, -2)  # (B,h,T,T)
         # content→position: Qc_i · Kr_{δ(i,j)}
         c2p_all = qc @ kr.swapaxes(-1, -2)  # (B,h,T,buckets)
-        rows = np.arange(steps)[:, None]
         c2p = c2p_all[:, :, rows, idx]  # (B,h,T,T)
         # position→content: Kc_j · Qr_{δ(j,i)} with δ(j,i) = clip(i−j)+R,
         # i.e. bucket idx[j, i]; gather per j then transpose to [b,h,i,j].

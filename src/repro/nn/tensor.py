@@ -17,13 +17,42 @@ Design choices
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
+from contextlib import contextmanager
 
 import numpy as np
 
 from repro.core.errors import GradientError, ShapeError
 
 Arrayish = "Tensor | np.ndarray | float | int"
+
+# Per-thread autograd switch: the serving engine's worker threads run
+# forward passes under no_grad while a training loop may be active on
+# another thread, so the flag cannot be process-global.
+_GRAD_MODE = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops record the autograd graph on the current thread."""
+    return getattr(_GRAD_MODE, "enabled", True)
+
+
+@contextmanager
+def no_grad():
+    """Disable graph construction for the enclosed forward passes.
+
+    Inside the context every op produces a constant tensor — no parents,
+    no backward closure — so inference skips the full cost of building
+    (and holding alive) the autograd graph. Values are identical to the
+    recording path; only ``.backward()`` becomes unavailable. Nestable.
+    """
+    previous = is_grad_enabled()
+    _GRAD_MODE.enabled = False
+    try:
+        yield
+    finally:
+        _GRAD_MODE.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -196,10 +225,13 @@ class Tensor:
     def _make(
         data: np.ndarray, parents: Sequence["Tensor"], backward
     ) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires, _parents=tuple(parents))
-        if requires:
-            out._backward = backward
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        if not requires:
+            # Constant result: drop parents so the graph (and the closure's
+            # captured activations) can be freed immediately.
+            return Tensor(data)
+        out = Tensor(data, requires_grad=True, _parents=tuple(parents))
+        out._backward = backward
         return out
 
     # -- arithmetic ------------------------------------------------------------

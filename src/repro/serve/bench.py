@@ -1,0 +1,94 @@
+"""Serving throughput benchmark: engine vs per-window scoring.
+
+Backs ``python -m repro serve-bench`` and the serve section of
+``scripts/bench_pr2.py``. The "before" path scores one window per
+``predict_proba`` call (the naive deployment); the "after" path routes
+the same windows through :class:`InferenceEngine.predict_many`. Outputs
+are checked to match: labels must be bitwise identical, probabilities
+agree to float summation-order noise.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.engine import EngineConfig, InferenceEngine
+from repro.temporal.windows import PostWindow
+
+__all__ = ["ServeBenchResult", "run_serve_bench"]
+
+
+@dataclass
+class ServeBenchResult:
+    """Timings and integrity checks of one serve benchmark run."""
+
+    requests: int
+    before_s: float
+    after_s: float
+    before_throughput: float
+    after_throughput: float
+    labels_identical: bool
+    max_prob_diff: float
+    engine_stats: dict
+
+    @property
+    def speedup(self) -> float:
+        return self.before_s / self.after_s if self.after_s else float("inf")
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "before_s": self.before_s,
+            "after_s": self.after_s,
+            "before_throughput_rps": self.before_throughput,
+            "after_throughput_rps": self.after_throughput,
+            "speedup": self.speedup,
+            "labels_identical": self.labels_identical,
+            "max_prob_diff": self.max_prob_diff,
+            "engine_stats": self.engine_stats,
+        }
+
+
+def run_serve_bench(
+    model,
+    windows: list[PostWindow],
+    requests: int = 256,
+    config: EngineConfig | None = None,
+) -> ServeBenchResult:
+    """Score ``requests`` windows per-window and via the engine.
+
+    ``windows`` is cycled to reach the request count, mimicking repeat
+    traffic (which also exercises the tokenization cache).
+    """
+    if not windows:
+        raise ValueError("serve bench needs at least one window")
+    traffic = [windows[i % len(windows)] for i in range(requests)]
+
+    start = time.perf_counter()
+    before = np.vstack([model.predict_proba([w]) for w in traffic])
+    before_s = time.perf_counter() - start
+
+    with InferenceEngine(model, config) as engine:
+        # Warm call outside the timed region: first-touch costs (cache
+        # install, lazy imports) belong to startup, not steady state.
+        engine.predict_many(traffic[:1])
+        start = time.perf_counter()
+        after = engine.predict_many(traffic)
+        after_s = time.perf_counter() - start
+        stats = engine.stats()
+
+    return ServeBenchResult(
+        requests=requests,
+        before_s=before_s,
+        after_s=after_s,
+        before_throughput=requests / before_s if before_s else float("inf"),
+        after_throughput=requests / after_s if after_s else float("inf"),
+        labels_identical=bool(
+            np.array_equal(before.argmax(axis=1), after.argmax(axis=1))
+        ),
+        max_prob_diff=float(np.abs(before - after).max()),
+        engine_stats=stats,
+    )

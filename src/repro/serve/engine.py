@@ -1,0 +1,300 @@
+"""High-throughput inference engine over any registry risk model.
+
+The serving workload (ROADMAP north star: "heavy traffic from millions
+of users") is dominated by repeated small scoring requests. Scoring one
+window at a time wastes almost all of its wall clock on per-call
+overhead — python dispatch, feature/tokenization setup, tiny gemms. The
+:class:`InferenceEngine` closes that gap three ways:
+
+* **dynamic micro-batching** — asynchronous ``submit`` requests queue up
+  and a batcher thread coalesces them into batches of up to
+  ``max_batch_size``, waiting at most ``max_wait_s`` after the first
+  request so latency stays bounded under light load; ``num_workers``
+  threads execute the coalesced batches (BLAS releases the GIL, so
+  workers overlap on multi-core hosts);
+* **a bounded LRU tokenization cache** — users repost and windows
+  overlap, so per-post token encodings are memoised (and bounded, unlike
+  a bare dict, so long-running processes don't leak);
+* **a synchronous ``predict_many`` fast path** — bulk scoring skips the
+  queue entirely and feeds size-capped batches straight to the model.
+
+All scoring runs under :func:`repro.nn.no_grad`, and every stage is
+instrumented through ``repro.perf`` (``serve.*`` spans and counters).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import perf
+from repro.core.errors import ModelError
+from repro.core.lru import LRUCache
+from repro.models.base import RiskModel
+from repro.nn import no_grad
+from repro.temporal.windows import PostWindow
+
+__all__ = ["EngineConfig", "InferenceEngine"]
+
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Serving knobs.
+
+    max_batch_size:
+        Upper bound on coalesced batch size (both paths).
+    max_wait_s:
+        How long the micro-batcher waits for stragglers after the first
+        queued request before dispatching a partial batch.
+    tokenization_cache_size:
+        LRU budget (distinct post texts) for the tokenization cache.
+    num_workers:
+        Threads executing coalesced batches. BLAS kernels release the
+        GIL, so >1 overlaps batch compute under concurrent traffic.
+    """
+
+    max_batch_size: int = 32
+    max_wait_s: float = 0.005
+    tokenization_cache_size: int = 8192
+    num_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+
+
+class InferenceEngine:
+    """Batched scoring front-end for a fitted :class:`RiskModel`.
+
+    Usage
+    -----
+    >>> engine = InferenceEngine(model, EngineConfig(max_batch_size=64))
+    >>> probs = engine.predict_many(windows)          # sync bulk path
+    >>> future = engine.submit(window)                # async micro-batched
+    >>> future.result()                               # (C,) probabilities
+    >>> engine.close()
+
+    The engine is also a context manager; ``close()`` drains the queue,
+    stops the batcher thread and uninstalls the tokenization cache.
+    """
+
+    def __init__(
+        self,
+        model: RiskModel,
+        config: EngineConfig | None = None,
+    ) -> None:
+        if not getattr(model, "_fitted", False):
+            raise ModelError("InferenceEngine requires a fitted model")
+        self.model = model
+        self.config = config or EngineConfig()
+        self.tokenization_cache = LRUCache(self.config.tokenization_cache_size)
+        self._queue: queue.Queue = queue.Queue()
+        self._batch_queue: queue.Queue = queue.Queue()
+        self._closed = False
+        self._batches = 0
+        self._batched_items = 0
+        self._lock = threading.Lock()
+        self._original_encode = None
+        self._install_tokenization_cache()
+        self._batcher = threading.Thread(
+            target=self._batch_loop, name="serve-batcher", daemon=True
+        )
+        self._batcher.start()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            for i in range(self.config.num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- tokenization cache ------------------------------------------------
+
+    def _install_tokenization_cache(self) -> None:
+        """Memoise the model pipeline's per-post encoder through the LRU.
+
+        Neural models re-encode every post text on each predict call;
+        under serving traffic the same texts recur (overlapping windows,
+        reposts), so encoding is cached keyed on the raw text. Feature
+        models without a ``pipeline.encode_post`` are left untouched.
+        """
+        pipeline = getattr(self.model, "pipeline", None)
+        encode = getattr(pipeline, "encode_post", None)
+        if encode is None:
+            return
+        cache = self.tokenization_cache
+
+        def cached_encode_post(text: str) -> list[int]:
+            hit = cache.get(text)
+            if hit is not None:
+                perf.count("serve.tokenize.hits")
+                return list(hit)
+            ids = encode(text)
+            cache.put(text, tuple(ids))
+            perf.count("serve.tokenize.misses")
+            return ids
+
+        pipeline.encode_post = cached_encode_post
+        self._original_encode = (pipeline, encode)
+
+    def _uninstall_tokenization_cache(self) -> None:
+        if self._original_encode is not None:
+            pipeline, _ = self._original_encode
+            try:
+                del pipeline.encode_post  # remove the instance shadow
+            except AttributeError:
+                pass
+            self._original_encode = None
+
+    # -- synchronous bulk path ---------------------------------------------
+
+    def predict_many(self, windows: list[PostWindow]) -> np.ndarray:
+        """(N, C) probabilities for ``windows``, batched, queue-free."""
+        self._ensure_open()
+        if not windows:
+            return self.model.predict_proba([])
+        size = self.config.max_batch_size
+        out = []
+        with perf.span("serve.predict_many"):
+            with no_grad():
+                for start in range(0, len(windows), size):
+                    chunk = windows[start : start + size]
+                    out.append(self.model.predict_proba(chunk))
+                    self._record_batch(len(chunk))
+        perf.count("serve.requests", len(windows))
+        return np.vstack(out)
+
+    def predict_labels(self, windows: list[PostWindow]) -> np.ndarray:
+        """Greedy labels via the batched probability path."""
+        probs = self.predict_many(windows)
+        return probs.argmax(axis=1).astype(np.int64)
+
+    # -- asynchronous micro-batched path -----------------------------------
+
+    def submit(self, window: PostWindow) -> Future:
+        """Queue one window; resolves to its (C,) probability vector."""
+        self._ensure_open()
+        future: Future = Future()
+        self._queue.put((window, future))
+        perf.count("serve.requests")
+        return future
+
+    def predict_one(self, window: PostWindow, timeout: float | None = None):
+        """Blocking single-window scoring through the micro-batcher."""
+        return self.submit(window).result(timeout=timeout)
+
+    def _batch_loop(self) -> None:
+        cfg = self.config
+        while True:
+            try:
+                item = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._closed:
+                    return
+                continue
+            if item is _SHUTDOWN:
+                return
+            batch = [item]
+            deadline = time.perf_counter() + cfg.max_wait_s
+            while len(batch) < cfg.max_batch_size:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    extra = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if extra is _SHUTDOWN:
+                    self._batch_queue.put(batch)
+                    return
+                batch.append(extra)
+            self._batch_queue.put(batch)
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._batch_queue.get()
+            if batch is _SHUTDOWN:
+                return
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list[tuple[PostWindow, Future]]) -> None:
+        windows = [window for window, _ in batch]
+        try:
+            with perf.span("serve.batch"):
+                with no_grad():
+                    probs = self.model.predict_proba(windows)
+            self._record_batch(len(batch))
+            for (_, future), row in zip(batch, probs):
+                future.set_result(row)
+        except Exception as exc:  # propagate to every waiter
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+
+    def _record_batch(self, size: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batched_items += size
+        perf.count("serve.batches")
+        perf.count("serve.batched_items", size)
+
+    # -- lifecycle / introspection -----------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("InferenceEngine is closed")
+
+    def stats(self) -> dict:
+        """Batching and cache counters for monitoring."""
+        with self._lock:
+            batches = self._batches
+            items = self._batched_items
+        return {
+            "batches": batches,
+            "batched_items": items,
+            "mean_batch_size": items / batches if batches else 0.0,
+            "queue_depth": self._queue.qsize(),
+            "tokenization_cache": self.tokenization_cache.stats(),
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._batcher.join(timeout=5.0)
+        # The batcher has stopped producing; let the workers drain the
+        # batch queue, then stop them.
+        for _ in self._workers:
+            self._batch_queue.put(_SHUTDOWN)
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        # Fail any request that raced the shutdown sentinel.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                _, future = item
+                if not future.done():
+                    future.set_exception(RuntimeError("engine closed"))
+        self._uninstall_tokenization_cache()
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

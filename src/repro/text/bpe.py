@@ -4,13 +4,26 @@ The paper's PLM baselines use RoBERTa/DeBERTa subword vocabularies. We
 train a small BPE from scratch on the in-domain corpus — the same
 construction (greedy merge of the most frequent adjacent symbol pair),
 sized for a few thousand merges.
+
+Training maintains pair counts *incrementally* (the subword-nmt
+construction): a lazy max-heap over pair frequencies plus an inverted
+``pair → word ids`` index means each merge touches only the words that
+actually contain the merged pair, instead of rescanning the whole symbol
+vocabulary per merge. The original full-rescan loop is retained as
+:meth:`BPETokenizer._train_reference` — it is the executable
+specification, and the equivalence tests assert both produce identical
+merge tables. Ties on pair frequency break towards the lexicographically
+smaller pair in both paths, so the order is deterministic and
+implementation-independent.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter
 from collections.abc import Iterable
 
+from repro.core.lru import LRUCache
 from repro.text.tokenizer import WordTokenizer
 
 #: Marker appended to word-final symbols so merges cannot cross words.
@@ -19,6 +32,23 @@ END_OF_WORD = "</w>"
 
 def _word_to_symbols(word: str) -> tuple[str, ...]:
     return tuple(word[:-1]) + (word[-1] + END_OF_WORD,)
+
+
+def _merge_word(
+    symbols: tuple[str, ...], pair: tuple[str, str], merged: str
+) -> tuple[str, ...]:
+    """Greedy left-to-right application of one merge rule to one word."""
+    out: list[str] = []
+    i = 0
+    n = len(symbols)
+    while i < n:
+        if i + 1 < n and symbols[i] == pair[0] and symbols[i + 1] == pair[1]:
+            out.append(merged)
+            i += 2
+        else:
+            out.append(symbols[i])
+            i += 1
+    return tuple(out)
 
 
 class BPETokenizer:
@@ -31,52 +61,137 @@ class BPETokenizer:
     >>> bpe.tokenize("the cat")
     """
 
-    def __init__(self, num_merges: int = 2000) -> None:
+    def __init__(self, num_merges: int = 2000, cache_size: int = 32768) -> None:
         if num_merges < 1:
             raise ValueError("num_merges must be >= 1")
         self.num_merges = num_merges
         self.merges: dict[tuple[str, str], int] = {}
         self._word_tokenizer = WordTokenizer()
-        self._cache: dict[str, tuple[str, ...]] = {}
+        # Bounded: under serving traffic the set of distinct words is
+        # open-ended, and an unbounded dict is a slow memory leak.
+        self._cache = LRUCache(maxsize=cache_size)
 
     # -- training ----------------------------------------------------------
 
-    def train(self, texts: Iterable[str]) -> "BPETokenizer":
-        """Learn merge rules from raw texts."""
-        word_freq = Counter()
+    def _word_frequencies(self, texts: Iterable[str]) -> Counter:
+        word_freq: Counter = Counter()
         for text in texts:
             word_freq.update(self._word_tokenizer(text))
+        return word_freq
+
+    def train(self, texts: Iterable[str]) -> "BPETokenizer":
+        """Learn merge rules from raw texts (incremental pair counts)."""
+        return self.train_from_frequencies(self._word_frequencies(texts))
+
+    def train_from_frequencies(self, word_freq: Counter) -> "BPETokenizer":
+        """Learn merge rules from a precomputed word-frequency table.
+
+        Split out from :meth:`train` so callers with an already-tokenised
+        corpus skip the text pass, and so benchmarks time the merge
+        learning itself rather than shared tokenisation.
+        """
+        words: list[tuple[str, ...]] = []
+        freqs: list[int] = []
+        for word, freq in word_freq.items():
+            if word:
+                words.append(_word_to_symbols(word))
+                freqs.append(freq)
+
+        pair_counts: dict[tuple[str, str], int] = {}
+        pair_words: dict[tuple[str, str], set[int]] = {}
+        for wi, symbols in enumerate(words):
+            freq = freqs[wi]
+            for pair in zip(symbols, symbols[1:]):
+                pair_counts[pair] = pair_counts.get(pair, 0) + freq
+                pair_words.setdefault(pair, set()).add(wi)
+
+        # Lazy max-heap: entries are (-count, pair); stale entries (whose
+        # stored count no longer matches pair_counts) are corrected on pop.
+        heap = [(-count, pair) for pair, count in pair_counts.items()]
+        heapq.heapify(heap)
+
+        merges: dict[tuple[str, str], int] = {}
+        for merge_idx in range(self.num_merges):
+            best: tuple[str, str] | None = None
+            count = 0
+            while heap:
+                neg, pair = heapq.heappop(heap)
+                current = pair_counts.get(pair, 0)
+                if current <= 0:
+                    continue
+                if -neg != current:
+                    heapq.heappush(heap, (-current, pair))
+                    continue
+                best, count = pair, current
+                break
+            if best is None or count < 2:
+                break
+            merges[best] = merge_idx
+            merged_symbol = best[0] + best[1]
+
+            deltas: dict[tuple[str, str], int] = {}
+            for wi in pair_words.pop(best, ()):
+                old_symbols = words[wi]
+                new_symbols = _merge_word(old_symbols, best, merged_symbol)
+                if new_symbols == old_symbols:  # stale index entry
+                    continue
+                freq = freqs[wi]
+                for pair in zip(old_symbols, old_symbols[1:]):
+                    deltas[pair] = deltas.get(pair, 0) - freq
+                for pair in zip(new_symbols, new_symbols[1:]):
+                    deltas[pair] = deltas.get(pair, 0) + freq
+                    pair_words.setdefault(pair, set()).add(wi)
+                words[wi] = new_symbols
+
+            for pair, delta in deltas.items():
+                if delta == 0:
+                    continue
+                updated = pair_counts.get(pair, 0) + delta
+                if updated <= 0:
+                    pair_counts.pop(pair, None)
+                else:
+                    pair_counts[pair] = updated
+                    heapq.heappush(heap, (-updated, pair))
+
+        self.merges = merges
+        self._cache.clear()
+        return self
+
+    def _train_reference(self, texts: Iterable[str]) -> "BPETokenizer":
+        """Original O(vocab) rescan-per-merge trainer (the specification).
+
+        Kept for equivalence tests and benchmarks; produces the same merge
+        table as :meth:`train` under the shared deterministic tie-break.
+        """
+        return self._train_reference_from_frequencies(
+            self._word_frequencies(texts)
+        )
+
+    def _train_reference_from_frequencies(
+        self, word_freq: Counter
+    ) -> "BPETokenizer":
         vocab = {
             _word_to_symbols(word): freq for word, freq in word_freq.items() if word
         }
         merges: dict[tuple[str, str], int] = {}
         for merge_idx in range(self.num_merges):
-            pair_counts = Counter()
+            pair_counts: Counter = Counter()
             for symbols, freq in vocab.items():
-                for a, b in zip(symbols, symbols[1:]):
-                    pair_counts[(a, b)] += freq
+                for pair in zip(symbols, symbols[1:]):
+                    pair_counts[pair] += freq
             if not pair_counts:
                 break
-            (best, count), = pair_counts.most_common(1)
+            best, count = min(
+                pair_counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
             if count < 2:
                 break
             merges[best] = merge_idx
             merged_symbol = best[0] + best[1]
-            new_vocab = {}
+            new_vocab: dict[tuple[str, ...], int] = {}
             for symbols, freq in vocab.items():
-                out = []
-                i = 0
-                while i < len(symbols):
-                    if (
-                        i + 1 < len(symbols)
-                        and (symbols[i], symbols[i + 1]) == best
-                    ):
-                        out.append(merged_symbol)
-                        i += 2
-                    else:
-                        out.append(symbols[i])
-                        i += 1
-                new_vocab[tuple(out)] = new_vocab.get(tuple(out), 0) + freq
+                merged = _merge_word(symbols, best, merged_symbol)
+                new_vocab[merged] = new_vocab.get(merged, 0) + freq
             vocab = new_vocab
         self.merges = merges
         self._cache.clear()
@@ -85,8 +200,9 @@ class BPETokenizer:
     # -- encoding ------------------------------------------------------------
 
     def _apply_merges(self, word: str) -> tuple[str, ...]:
-        if word in self._cache:
-            return self._cache[word]
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
         symbols = list(_word_to_symbols(word))
         while len(symbols) > 1:
             ranked = [
@@ -99,7 +215,7 @@ class BPETokenizer:
             _, i = min(ranked)
             symbols[i : i + 2] = [symbols[i] + symbols[i + 1]]
         result = tuple(symbols)
-        self._cache[word] = result
+        self._cache.put(word, result)
         return result
 
     def tokenize(self, text: str) -> list[str]:

@@ -84,6 +84,11 @@ class Vocabulary:
     def mask_id(self) -> int:
         return self._token_to_id[MASK]
 
+    @property
+    def num_special(self) -> int:
+        """Count of reserved special ids (they occupy ids 0..num_special-1)."""
+        return len(SPECIAL_TOKENS)
+
     def id_of(self, token: str) -> int:
         """Id of ``token``, falling back to ``<unk>``."""
         return self._token_to_id.get(token, self.unk_id)

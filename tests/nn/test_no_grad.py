@@ -1,0 +1,75 @@
+"""Inference-mode (`no_grad`) semantics of the autograd Tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Tensor, is_grad_enabled, no_grad
+
+
+def test_grad_enabled_by_default():
+    assert is_grad_enabled()
+
+
+def test_no_grad_restores_state():
+    with no_grad():
+        assert not is_grad_enabled()
+    assert is_grad_enabled()
+
+
+def test_no_grad_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with no_grad():
+            raise RuntimeError("boom")
+    assert is_grad_enabled()
+
+
+def test_no_grad_nesting():
+    with no_grad():
+        with no_grad():
+            assert not is_grad_enabled()
+        assert not is_grad_enabled()
+    assert is_grad_enabled()
+
+
+def test_no_grad_output_has_no_graph():
+    x = Tensor(np.ones((2, 3)), requires_grad=True)
+    with no_grad():
+        y = (x * 2.0).sum()
+    assert not y.requires_grad
+    assert y._parents == ()
+    assert y._backward is None
+
+
+def test_values_bitwise_match_grad_mode(rng):
+    layer = Linear(5, 3, rng=np.random.default_rng(0))
+    x = Tensor(rng.normal(size=(4, 5)))
+    with_grad = layer(x).data
+    with no_grad():
+        without = layer(x).data
+    np.testing.assert_array_equal(with_grad, without)
+
+
+def test_params_trainable_after_no_grad(rng):
+    layer = Linear(4, 2, rng=np.random.default_rng(0))
+    x = Tensor(rng.normal(size=(3, 4)))
+    with no_grad():
+        layer(x)
+    out = layer(x).sum()
+    out.backward()
+    assert layer.weight.grad is not None
+    assert np.abs(layer.weight.grad).sum() > 0
+
+
+def test_no_grad_is_thread_local():
+    import threading
+
+    seen = {}
+
+    def worker():
+        seen["worker"] = is_grad_enabled()
+
+    with no_grad():
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    assert seen["worker"] is True  # other threads keep autograd on

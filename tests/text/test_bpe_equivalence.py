@@ -1,0 +1,109 @@
+"""Incremental BPE trainer vs the retained full-rescan reference."""
+
+import time
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.text.bpe import BPETokenizer
+
+
+def _random_corpus(num_texts=400, seed=0):
+    rng = np.random.default_rng(seed)
+    letters = list("abcdefghij")
+    words = [
+        "".join(rng.choice(letters, size=rng.integers(2, 9)))
+        for _ in range(150)
+    ]
+    return [
+        " ".join(rng.choice(words, size=rng.integers(3, 12)))
+        for _ in range(num_texts)
+    ]
+
+
+@pytest.mark.parametrize(
+    "texts",
+    [
+        ["the cat sat on the mat", "the cat ran", "a cat sat"],
+        # Repeated symbols: merges overlap within one word.
+        ["aaaa aaaa banana", "aa aaa banana bandana"],
+        # Single word corpus, merges collapse the whole word.
+        ["abcabcabc abcabcabc abcabc"],
+    ],
+)
+def test_merge_tables_match_reference(texts):
+    fast = BPETokenizer(num_merges=50).train(texts)
+    ref = BPETokenizer(num_merges=50)._train_reference(texts)
+    assert fast.merges == ref.merges
+
+
+def test_merge_tables_match_on_random_corpus():
+    texts = _random_corpus()
+    fast = BPETokenizer(num_merges=300).train(texts)
+    ref = BPETokenizer(num_merges=300)._train_reference(texts)
+    assert fast.merges == ref.merges
+    sample = texts[:20]
+    assert [fast.tokenize(t) for t in sample] == [
+        ref.tokenize(t) for t in sample
+    ]
+
+
+def test_train_from_frequencies_matches_train():
+    texts = ["sing a song of sixpence", "a pocket full of rye"]
+    bpe_texts = BPETokenizer(num_merges=40).train(texts)
+    word_freq = BPETokenizer(num_merges=40)._word_frequencies(texts)
+    bpe_freq = BPETokenizer(num_merges=40).train_from_frequencies(word_freq)
+    assert bpe_texts.merges == bpe_freq.merges
+
+
+def test_merges_stop_below_min_count():
+    # Every pair unique → counts of 1 → nothing merged.
+    fast = BPETokenizer(num_merges=10).train(["abcdefg"])
+    ref = BPETokenizer(num_merges=10)._train_reference(["abcdefg"])
+    assert fast.merges == ref.merges == {}
+
+
+def test_tokenize_requires_training():
+    with pytest.raises(RuntimeError):
+        BPETokenizer().tokenize("hello")
+
+
+def test_encode_cache_is_bounded():
+    bpe = BPETokenizer(num_merges=20, cache_size=8)
+    bpe.train(["some words to learn merges from words words"])
+    for i in range(50):
+        bpe.tokenize(f"word{i}")
+    stats = bpe._cache.stats()
+    assert stats["size"] <= 8
+    assert stats["evictions"] > 0
+
+
+def test_cache_cleared_on_retrain():
+    bpe = BPETokenizer(num_merges=20)
+    bpe.train(["aa ab aa ab"])
+    bpe.tokenize("aa")
+    assert len(bpe._cache) > 0
+    bpe.train(["cc cd cc cd"])
+    assert len(bpe._cache) == 0
+
+
+@pytest.mark.perf_smoke
+def test_incremental_train_is_faster():
+    word_freq = Counter()
+    rng = np.random.default_rng(1)
+    letters = np.array(list("abcdefghijklmnopqrstuvwxyz"))
+    for _ in range(2000):
+        word = "".join(rng.choice(letters, size=int(rng.integers(4, 12))))
+        word_freq[word] += int(rng.integers(2, 30))
+
+    start = time.perf_counter()
+    fast = BPETokenizer(num_merges=500).train_from_frequencies(word_freq)
+    fast_s = time.perf_counter() - start
+    start = time.perf_counter()
+    ref = BPETokenizer(num_merges=500)._train_reference_from_frequencies(
+        word_freq
+    )
+    ref_s = time.perf_counter() - start
+    assert fast.merges == ref.merges
+    assert ref_s / fast_s > 3.0  # conservative floor; bench shows far more
