@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -74,14 +75,30 @@ class PerfStat:
 
 
 class PerfRegistry:
-    """Nested span timers + counters, keyed by slash-joined paths."""
+    """Nested span timers + counters, keyed by slash-joined paths.
+
+    Thread safety: each thread nests spans on its *own* stack (a shared
+    stack would interleave unrelated threads' paths — the multi-threaded
+    serving engine corrupted span trees exactly that way), and every
+    stat update happens under a lock so concurrent recorders never lose
+    increments.
+    """
 
     def __init__(self, clock=time.perf_counter) -> None:
         self._clock = clock
         self._stats: dict[str, PerfStat] = {}
-        self._stack: list[str] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
 
     # -- recording ---------------------------------------------------------
+
+    @property
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     def _path(self, name: str) -> str:
         return "/".join([*self._stack, name])
@@ -89,46 +106,52 @@ class PerfRegistry:
     @contextmanager
     def span(self, name: str):
         """Time a block; nested spans record under the active span's path."""
+        stack = self._stack
         path = self._path(name)
-        self._stack.append(name)
+        stack.append(name)
         start = self._clock()
         try:
             yield
         finally:
             elapsed = self._clock() - start
-            self._stack.pop()
-            stat = self._stats.setdefault(path, PerfStat(path))
-            stat.total_s += elapsed
-            stat.calls += 1
+            stack.pop()
+            with self._lock:
+                stat = self._stats.setdefault(path, PerfStat(path))
+                stat.total_s += elapsed
+                stat.calls += 1
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment a counter under the currently active span path."""
         path = self._path(name)
-        stat = self._stats.setdefault(path, PerfStat(path))
-        stat.count += n
+        with self._lock:
+            stat = self._stats.setdefault(path, PerfStat(path))
+            stat.count += n
 
     def reset(self) -> None:
-        self._stats.clear()
+        with self._lock:
+            self._stats.clear()
         self._stack.clear()
 
     # -- reporting ---------------------------------------------------------
 
     def stats(self) -> dict[str, PerfStat]:
-        return dict(self._stats)
+        with self._lock:
+            return dict(self._stats)
 
     def report(self) -> dict:
         """Machine-readable report: ``{path: {total_s, calls, count}}``."""
         return {
             path: stat.as_dict()
-            for path, stat in sorted(self._stats.items())
+            for path, stat in sorted(self.stats().items())
         }
 
     def render(self) -> str:
         """Monospace tree of every recorded path."""
-        if not self._stats:
+        stats = self.stats()
+        if not stats:
             return "(no spans recorded)"
         lines = []
-        for path, stat in sorted(self._stats.items()):
+        for path, stat in sorted(stats.items()):
             indent = "  " * stat.depth
             label = f"{indent}{path.rsplit('/', 1)[-1]}"
             parts = []
@@ -144,8 +167,15 @@ class PerfRegistry:
 
         When ``path`` already holds a JSON object, the perf report is
         merged under its ``"perf_report"`` key so benchmark metadata
-        written by other tools survives.
+        written by other tools survives. ``extra`` must not contain a
+        ``"perf_report"`` key — silently clobbering the report it was
+        asked to write would defeat the call.
         """
+        if extra and "perf_report" in extra:
+            raise ValueError(
+                "write_json: 'perf_report' is reserved for the registry's "
+                "own report; rename the extra key"
+            )
         path = Path(path)
         payload: dict = {}
         if path.exists():

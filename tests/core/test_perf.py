@@ -1,6 +1,7 @@
 """Tests for the hierarchical perf span/counter registry."""
 
 import json
+import threading
 
 import pytest
 
@@ -81,6 +82,60 @@ class TestRegistry:
         assert "no spans" in PerfRegistry().render()
 
 
+class TestThreadSafety:
+    """N threads hammering nested spans/counters: exact aggregates, no
+    cross-thread path corruption (each thread nests on its own stack)."""
+
+    def test_concurrent_spans_and_counters_exact(self):
+        reg = PerfRegistry()
+        threads_n, iters = 8, 200
+        start = threading.Barrier(threads_n)
+
+        def worker():
+            start.wait()
+            for _ in range(iters):
+                with reg.span("outer"):
+                    with reg.span("inner"):
+                        reg.count("ticks", 2)
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        stats = reg.stats()
+        # Exactly the three expected paths — no orphaned/interleaved ones
+        # like "outer/outer/inner" from another thread's stack.
+        assert set(stats) == {"outer", "outer/inner", "outer/inner/ticks"}
+        assert stats["outer"].calls == threads_n * iters
+        assert stats["outer/inner"].calls == threads_n * iters
+        assert stats["outer/inner/ticks"].count == 2 * threads_n * iters
+
+    def test_thread_stacks_are_independent(self):
+        reg = PerfRegistry()
+        release = threading.Event()
+        entered = threading.Event()
+
+        def holder():
+            with reg.span("held"):
+                entered.set()
+                release.wait(timeout=10.0)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        entered.wait(timeout=10.0)
+        # While the other thread has an open span, this thread's spans
+        # must not nest under it.
+        with reg.span("main"):
+            pass
+        release.set()
+        t.join()
+        paths = set(reg.stats())
+        assert "main" in paths
+        assert "held/main" not in paths
+
+
 class TestWriteJson:
     def test_writes_report(self, tmp_path):
         reg = PerfRegistry(clock=FakeClock())
@@ -90,6 +145,13 @@ class TestWriteJson:
         payload = json.loads(out.read_text())
         assert "x" in payload["perf_report"]
         assert payload["scale"] == 0.05
+
+    def test_extra_cannot_clobber_perf_report(self, tmp_path):
+        reg = PerfRegistry(clock=FakeClock())
+        with reg.span("x"):
+            pass
+        with pytest.raises(ValueError, match="perf_report"):
+            reg.write_json(tmp_path / "bench.json", extra={"perf_report": {}})
 
     def test_merges_into_existing_file(self, tmp_path):
         path = tmp_path / "bench.json"
