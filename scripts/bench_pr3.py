@@ -1,0 +1,165 @@
+"""PR 3 benchmark: telemetry overhead + per-request latency quantiles.
+
+Guards the acceptance bound on the telemetry subsystem: serve-bench
+throughput with tracing enabled must stay within 10% of (a) the
+tracing-disabled run measured in the same process — the same-machine
+apples-to-apples bound — and (b) the engine throughput recorded in
+BENCH_PR2.json before telemetry existed, when that file is present.
+
+Also records what the telemetry adds that PR 2 could not measure at
+all: per-request p50/p90/p99 end-to-end latency and queue wait from the
+engine's request traces, the trace/slow-log counters, and a validated
+Prometheus rendering of the serve metrics.
+
+Writes machine-readable results to BENCH_PR3.json (checks evaluated at
+exit, non-zero on failure).
+
+Usage:
+    PYTHONPATH=src python scripts/bench_pr3.py [scale] [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro import perf
+from repro.core.config import CorpusConfig
+from repro.core.pipeline import build_dataset
+from repro.models.neural_common import TrainerConfig
+from repro.models.plm import PLMConfig
+from repro.models.roberta import RobertaRiskModel
+from repro.perf import render_prometheus, validate_prometheus
+from repro.serve import EngineConfig, run_serve_bench
+from repro.temporal.windows import PostWindow
+
+OVERHEAD_BUDGET = 0.10  # tracing may cost at most 10% throughput
+
+
+def train_small_plm(splits, pretrain_texts):
+    """Same compact PLM as scripts/bench_pr2.py, for comparable numbers."""
+    model = RobertaRiskModel(
+        config=PLMConfig(dim=16, num_layers=1, num_heads=2, ffn_hidden=32,
+                         max_len=96),
+        trainer=TrainerConfig(epochs=2, batch_size=16, patience=3, seed=0),
+        pretrain_texts=pretrain_texts[:2000],
+        pretrain_steps=30,
+        seed=0,
+    )
+    model.fit(splits.train, splits.validation)
+    return model
+
+
+def single_post_windows(windows):
+    """One-post windows — the serving unit (see scripts/bench_pr2.py)."""
+    return [
+        PostWindow(author=w.author, posts=(post,), label=w.label)
+        for w in windows
+        for post in w.posts
+    ]
+
+
+def bench_overhead(model, windows, requests: int = 384) -> dict:
+    """Serve bench twice: tracing off (baseline) then on (telemetry)."""
+    base = EngineConfig(max_batch_size=32)
+    off = run_serve_bench(
+        model, windows, requests=requests,
+        config=EngineConfig(max_batch_size=32, tracing=False),
+    )
+    on = run_serve_bench(model, windows, requests=requests, config=base)
+    return {
+        "requests": requests,
+        "tracing_off": off.as_dict(),
+        "tracing_on": on.as_dict(),
+        "overhead_ratio": (
+            off.after_throughput / on.after_throughput
+            if on.after_throughput else float("inf")
+        ),
+    }
+
+
+def pr2_serve_figure(path: Path) -> float | None:
+    """Engine throughput recorded by scripts/bench_pr2.py, if available."""
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return float(
+            payload["benchmarks"]["serve"]["after_throughput_rps"]
+        )
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+        return None
+
+
+def main(argv: list[str]) -> int:
+    scale = float(argv[0]) if argv else 0.1
+    output = Path(argv[1]) if len(argv) > 1 else Path("BENCH_PR3.json")
+
+    perf.reset()
+    print(f"bench_pr3: scale={scale}")
+    results: dict = {"scale": scale}
+
+    build = build_dataset(CorpusConfig().scaled(scale), near_dedup=False)
+    splits = build.dataset.splits()
+    model = train_small_plm(splits, build.dataset.pretrain_texts)
+    windows = single_post_windows(
+        (splits.test or []) + (splits.validation or []) + splits.train
+    )[:64]
+
+    results["overhead"] = bench_overhead(model, windows)
+    on = results["overhead"]["tracing_on"]
+    off = results["overhead"]["tracing_off"]
+
+    # The serve metrics the run produced must render as valid
+    # Prometheus exposition text.
+    prom_text = render_prometheus(perf.snapshot())
+    validate_prometheus(prom_text)
+    results["prometheus"] = {
+        "lines": len(prom_text.splitlines()),
+        "valid": True,
+    }
+
+    pr2_rps = pr2_serve_figure(Path("BENCH_PR2.json"))
+    results["pr2_after_throughput_rps"] = pr2_rps
+
+    checks = {
+        "labels_identical": on["labels_identical"] and off["labels_identical"],
+        "tracing_overhead_within_10pct": (
+            results["overhead"]["overhead_ratio"] <= 1.0 + OVERHEAD_BUDGET
+        ),
+        "latency_quantiles_reported": (
+            on["latency"].get("p99_ms", 0.0) > 0.0
+            and "p50_ms" in on["queue_wait"]
+        ),
+        "traces_cover_run": (
+            on["engine_stats"]["traces"]["finished"] >= on["requests"]
+        ),
+        "prometheus_valid": results["prometheus"]["valid"],
+    }
+    if pr2_rps is not None:
+        checks["tracing_on_within_10pct_of_pr2"] = (
+            on["after_throughput_rps"] >= (1.0 - OVERHEAD_BUDGET) * pr2_rps
+        )
+    results["checks"] = checks
+
+    print(f"  engine rps   off {off['after_throughput_rps']:8.1f}  "
+          f"on {on['after_throughput_rps']:8.1f}  "
+          f"(overhead {100 * (results['overhead']['overhead_ratio'] - 1):+.1f}%)")
+    if pr2_rps is not None:
+        print(f"  BENCH_PR2    {pr2_rps:8.1f} rps recorded")
+    lat, qw = on["latency"], on["queue_wait"]
+    print(f"  latency      p50 {lat['p50_ms']:.2f}ms  p90 {lat['p90_ms']:.2f}ms  "
+          f"p99 {lat['p99_ms']:.2f}ms  max {lat['max_ms']:.2f}ms")
+    print(f"  queue wait   p50 {qw['p50_ms']:.2f}ms  p99 {qw['p99_ms']:.2f}ms")
+    print(f"  prometheus   {results['prometheus']['lines']} lines, valid")
+    for name, ok in checks.items():
+        print(f"  check {name:<32} {'PASS' if ok else 'FAIL'}")
+
+    perf.write_json(output, extra={"benchmarks": results})
+    print(f"wrote {output}")
+    return 0 if all(checks.values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

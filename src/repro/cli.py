@@ -8,7 +8,13 @@ evaluate    Train a baseline on a freshly built dataset and report metrics.
 bench       Run one paper experiment (table1..table4, fig1, fig23, fig4,
             kappa, ablations).
 serve-bench Train a baseline, then benchmark the micro-batched
-            InferenceEngine against per-window scoring.
+            InferenceEngine against per-window scoring (throughput plus
+            p50/p90/p99 end-to-end latency and queue wait).
+metrics     Exercise the serving stack, then export telemetry as
+            Prometheus exposition text or a JSON snapshot (or render a
+            previously saved snapshot with --input).
+trace       Exercise the serving stack, then print recent per-request
+            traces from the engine's ring buffer.
 """
 
 from __future__ import annotations
@@ -158,16 +164,129 @@ def cmd_serve_bench(args) -> int:
     print(f"  engine       {bench.after_throughput:10.1f} req/s "
           f"({bench.after_s:.3f}s)")
     print(f"  speedup      {bench.speedup:10.1f}x")
+    print(f"  async        {bench.async_throughput:10.1f} req/s "
+          f"({bench.async_s:.3f}s)")
     print(f"  labels identical: {bench.labels_identical}   "
           f"max prob diff: {bench.max_prob_diff:.2e}")
+    if bench.latency:
+        lat, qw = bench.latency, bench.queue_wait
+        print(f"  latency      p50 {lat['p50_ms']:7.2f}ms  "
+              f"p90 {lat['p90_ms']:7.2f}ms  p99 {lat['p99_ms']:7.2f}ms  "
+              f"max {lat['max_ms']:7.2f}ms")
+        print(f"  queue wait   p50 {qw['p50_ms']:7.2f}ms  "
+              f"p90 {qw['p90_ms']:7.2f}ms  p99 {qw['p99_ms']:7.2f}ms  "
+              f"max {qw['max_ms']:7.2f}ms")
     stats = bench.engine_stats
     print(f"  batches: {stats['batches']}  "
           f"mean batch: {stats['mean_batch_size']:.1f}  "
-          f"token cache hits: {stats['tokenization_cache']['hits']}")
+          f"token cache hits: {stats['tokenization_cache']['hits']}  "
+          f"slow requests: {stats['traces']['slow']}")
     if args.output:
         out = perf.write_json(args.output, extra={"serve_bench": bench.as_dict()})
         print(f"wrote serve bench report to {out}")
     return 0 if bench.labels_identical else 1
+
+
+def _serve_exercise(args):
+    """Train a model and push traffic through a traced engine.
+
+    Shared by ``metrics`` and ``trace``: both need a populated registry
+    (serve counters, gauges, span + latency histograms) and a tracer
+    ring, which only exist after real requests have flowed. Returns the
+    closed engine (its tracer and stats stay readable).
+    """
+    from repro.models import create_model
+    from repro.serve import EngineConfig, InferenceEngine
+
+    result = build_dataset(_config(args))
+    splits = result.dataset.splits()
+    model = create_model(args.model)
+    model.fit(splits.train, splits.validation)
+    traffic = [splits.test[i % len(splits.test)]
+               for i in range(args.requests)]
+    engine = InferenceEngine(model, EngineConfig(
+        max_batch_size=args.batch_size,
+        trace_ring_size=max(256, args.requests),
+        slow_threshold_s=args.slow_ms / 1e3,
+        slow_log_path=args.slow_log,
+    ))
+    with engine:
+        futures = [engine.submit(w) for w in traffic]
+        for future in futures:
+            future.result(timeout=60.0)
+    return engine
+
+
+def _add_serve_exercise_args(parser) -> None:
+    _add_scale(parser)
+    parser.set_defaults(scale=0.05)
+    parser.add_argument(
+        "--model", default="logreg",
+        choices=["xgboost", "bilstm", "higru", "roberta", "deberta", "logreg"],
+    )
+    parser.add_argument("--requests", type=int, default=96,
+                        help="traced requests pushed through the engine")
+    parser.add_argument("--batch-size", type=int, default=16,
+                        help="engine max_batch_size")
+    parser.add_argument("--slow-ms", type=float, default=1000.0,
+                        help="slow-request threshold in milliseconds")
+    parser.add_argument("--slow-log", default=None,
+                        help="JSONL file receiving slow-request traces")
+
+
+def cmd_metrics(args) -> int:
+    import json as _json
+
+    from repro.perf import json_snapshot, render_prometheus, validate_prometheus
+
+    if args.input:
+        from pathlib import Path
+
+        snap = _json.loads(Path(args.input).read_text(encoding="utf-8"))
+        perf_snapshot = snap.get("perf", snap)
+    else:
+        engine = _serve_exercise(args)
+        snap = json_snapshot(
+            perf.get_registry(), tracer=engine.tracer,
+            extra={"engine_stats": engine.stats()},
+        )
+        perf_snapshot = snap["perf"]
+
+    if args.format == "prometheus":
+        text = render_prometheus(perf_snapshot)
+        validate_prometheus(text)
+    else:
+        text = _json.dumps(snap, indent=2) + "\n"
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.format} metrics to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import json as _json
+
+    engine = _serve_exercise(args)
+    traces = engine.recent_traces(limit=args.limit)
+    if args.format == "json":
+        print(_json.dumps(traces, indent=2))
+        return 0
+    stats = engine.stats()["traces"]
+    print(f"traces: {stats['finished']} finished, {stats['slow']} slow, "
+          f"showing {len(traces)} most recent")
+    for trace in traces:
+        events = " ".join(
+            f"{e['name']}@{e['t_ms']:.2f}" for e in trace["events"]
+        )
+        print(f"  {trace['trace_id']}  total {trace['total_ms']:8.2f}ms  "
+              f"queue {trace['queue_wait_ms']:7.2f}ms  "
+              f"batch={trace['metadata'].get('batch_size', '?')}")
+        print(f"    {events}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -238,19 +357,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--output", default=None,
                          help="merge results + perf report into this JSON")
     p_serve.set_defaults(func=cmd_serve_bench)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="exercise the serving stack and export telemetry "
+             "(Prometheus text or JSON snapshot)",
+    )
+    _add_serve_exercise_args(p_metrics)
+    p_metrics.add_argument("--format", default="prometheus",
+                           choices=["prometheus", "json"])
+    p_metrics.add_argument("--output", default=None,
+                           help="write to this file instead of stdout")
+    p_metrics.add_argument(
+        "--input", default=None,
+        help="render a previously saved JSON snapshot instead of "
+             "running the serve exercise",
+    )
+    p_metrics.set_defaults(func=cmd_metrics)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="exercise the serving stack and print recent request traces",
+    )
+    _add_serve_exercise_args(p_trace)
+    p_trace.add_argument("--limit", type=int, default=10,
+                         help="how many recent traces to show")
+    p_trace.add_argument("--format", default="table",
+                         choices=["table", "json"])
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    code = args.func(args)
-    # REPRO_PERF=1 appends the span report to any command's output
-    # (``bench --profile`` prints it regardless).
-    if perf.enabled() and not getattr(args, "profile", False):
-        print()
-        print("perf profile")
-        print(perf.render())
-    return code
+    try:
+        return args.func(args)
+    finally:
+        # REPRO_PERF=1 appends the span report to any command's output —
+        # on error paths too (a failed run is exactly when the profile
+        # is needed); ``bench --profile`` prints it regardless.
+        if perf.enabled() and not getattr(args, "profile", False):
+            print()
+            print("perf profile")
+            print(perf.render())
 
 
 if __name__ == "__main__":

@@ -125,6 +125,11 @@ def build_dataset(
             )
     report.final_posts = dataset.num_posts
     report.final_users = dataset.num_users
+    # Stage gauges for the metrics exporters: corpus size in vs released
+    # size out is the first thing to check when a build report looks off.
+    perf.gauge("build.raw_posts", report.raw_posts)
+    perf.gauge("build.final_posts", report.final_posts)
+    perf.gauge("build.final_users", report.final_users)
     return BuildResult(
         dataset=dataset, corpus=corpus, campaign=campaign, report=report
     )

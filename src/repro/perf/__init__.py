@@ -1,196 +1,73 @@
-"""Hierarchical wall-clock instrumentation for the hot paths.
+"""Telemetry subsystem: spans, counters, gauges, histograms, tracing, export.
 
 A process-wide :class:`PerfRegistry` records named timing *spans* (via a
-context manager) and monotonic *counters*. Spans nest: a span opened while
-another is active is recorded under the parent's slash-separated path, so
-the report reads like a profile of the pipeline::
+context manager), monotonic *counters*, last-write-wins *gauges* and
+explicit histogram *observations*. Spans nest per thread: a span opened
+while another is active on the same thread is recorded under the
+parent's slash-separated path, so the report reads like a profile of
+the pipeline::
 
     build                      1  12.41s
     build/corpus               1   4.20s
     build/preprocess           1   2.96s
     build/preprocess/near-dup  1   1.10s
 
-The registry is always on — a span costs two ``perf_counter`` calls and a
-dict update — so library code can instrument unconditionally. Reporting is
-opt-in: the CLI prints the report after every command when the
+Every span path also accumulates a fixed-log-bucket latency histogram
+(p50/p90/p99/max per path — :mod:`repro.perf.histogram`); the serving
+engine additionally traces each request's lifecycle end to end
+(:mod:`repro.perf.tracing`), and everything exports as Prometheus
+exposition text or a JSON snapshot (:mod:`repro.perf.export`,
+``python -m repro metrics`` / ``python -m repro trace``).
+
+The registry is always on — a span costs two ``perf_counter`` calls and
+a few dict/array updates on a lock-free per-thread shard — so library
+code can instrument unconditionally. Reporting is opt-in: the CLI
+prints the report after every command (including failed ones) when the
 ``REPRO_PERF`` environment variable is set, and ``python -m repro bench
 --profile`` additionally writes it to ``BENCH_PR1.json``. See
-``docs/performance.md``.
+``docs/observability.md`` and ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import threading
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass
 from pathlib import Path
 
+from repro.perf.export import (
+    json_snapshot,
+    render_prometheus,
+    validate_prometheus,
+    write_json_snapshot,
+    write_prometheus,
+)
+from repro.perf.histogram import Histogram
+from repro.perf.registry import PERF_ENV, PerfRegistry, PerfStat, enabled
+from repro.perf.tracing import LIFECYCLE_EVENTS, Trace, Tracer
+
 __all__ = [
+    "Histogram",
+    "LIFECYCLE_EVENTS",
+    "PERF_ENV",
     "PerfRegistry",
     "PerfStat",
+    "Trace",
+    "Tracer",
     "count",
     "enabled",
+    "gauge",
     "get_registry",
+    "json_snapshot",
+    "observe",
     "render",
+    "render_prometheus",
     "report",
     "reset",
+    "snapshot",
     "span",
+    "validate_prometheus",
     "write_json",
-    "PERF_ENV",
+    "write_json_snapshot",
+    "write_prometheus",
 ]
-
-PERF_ENV = "REPRO_PERF"
-
-
-def enabled() -> bool:
-    """True when ``REPRO_PERF`` asks for a report (any non-empty, non-0)."""
-    value = os.environ.get(PERF_ENV, "")
-    return value not in ("", "0", "false", "no")
-
-
-@dataclass
-class PerfStat:
-    """Accumulated statistics of one span/counter path."""
-
-    path: str
-    total_s: float = 0.0
-    calls: int = 0
-    count: int = 0
-
-    @property
-    def depth(self) -> int:
-        return self.path.count("/")
-
-    def as_dict(self) -> dict:
-        out: dict = {}
-        if self.calls:
-            out["total_s"] = self.total_s
-            out["calls"] = self.calls
-        if self.count:
-            out["count"] = self.count
-        return out
-
-
-class PerfRegistry:
-    """Nested span timers + counters, keyed by slash-joined paths.
-
-    Thread safety: each thread nests spans on its *own* stack (a shared
-    stack would interleave unrelated threads' paths — the multi-threaded
-    serving engine corrupted span trees exactly that way), and every
-    stat update happens under a lock so concurrent recorders never lose
-    increments.
-    """
-
-    def __init__(self, clock=time.perf_counter) -> None:
-        self._clock = clock
-        self._stats: dict[str, PerfStat] = {}
-        self._lock = threading.Lock()
-        self._local = threading.local()
-
-    # -- recording ---------------------------------------------------------
-
-    @property
-    def _stack(self) -> list[str]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = []
-            self._local.stack = stack
-        return stack
-
-    def _path(self, name: str) -> str:
-        return "/".join([*self._stack, name])
-
-    @contextmanager
-    def span(self, name: str):
-        """Time a block; nested spans record under the active span's path."""
-        stack = self._stack
-        path = self._path(name)
-        stack.append(name)
-        start = self._clock()
-        try:
-            yield
-        finally:
-            elapsed = self._clock() - start
-            stack.pop()
-            with self._lock:
-                stat = self._stats.setdefault(path, PerfStat(path))
-                stat.total_s += elapsed
-                stat.calls += 1
-
-    def count(self, name: str, n: int = 1) -> None:
-        """Increment a counter under the currently active span path."""
-        path = self._path(name)
-        with self._lock:
-            stat = self._stats.setdefault(path, PerfStat(path))
-            stat.count += n
-
-    def reset(self) -> None:
-        with self._lock:
-            self._stats.clear()
-        self._stack.clear()
-
-    # -- reporting ---------------------------------------------------------
-
-    def stats(self) -> dict[str, PerfStat]:
-        with self._lock:
-            return dict(self._stats)
-
-    def report(self) -> dict:
-        """Machine-readable report: ``{path: {total_s, calls, count}}``."""
-        return {
-            path: stat.as_dict()
-            for path, stat in sorted(self.stats().items())
-        }
-
-    def render(self) -> str:
-        """Monospace tree of every recorded path."""
-        stats = self.stats()
-        if not stats:
-            return "(no spans recorded)"
-        lines = []
-        for path, stat in sorted(stats.items()):
-            indent = "  " * stat.depth
-            label = f"{indent}{path.rsplit('/', 1)[-1]}"
-            parts = []
-            if stat.calls:
-                parts.append(f"{stat.calls:>5}x {stat.total_s:9.3f}s")
-            if stat.count:
-                parts.append(f"count={stat.count}")
-            lines.append(f"{label:<42} {'  '.join(parts)}")
-        return "\n".join(lines)
-
-    def write_json(self, path: str | Path, extra: dict | None = None) -> Path:
-        """Write (or merge into) a JSON report file.
-
-        When ``path`` already holds a JSON object, the perf report is
-        merged under its ``"perf_report"`` key so benchmark metadata
-        written by other tools survives. ``extra`` must not contain a
-        ``"perf_report"`` key — silently clobbering the report it was
-        asked to write would defeat the call.
-        """
-        if extra and "perf_report" in extra:
-            raise ValueError(
-                "write_json: 'perf_report' is reserved for the registry's "
-                "own report; rename the extra key"
-            )
-        path = Path(path)
-        payload: dict = {}
-        if path.exists():
-            try:
-                existing = json.loads(path.read_text(encoding="utf-8"))
-                if isinstance(existing, dict):
-                    payload = existing
-            except (OSError, json.JSONDecodeError):
-                payload = {}
-        payload["perf_report"] = self.report()
-        if extra:
-            payload.update(extra)
-        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-        return path
-
 
 _REGISTRY = PerfRegistry()
 
@@ -208,12 +85,24 @@ def count(name: str, n: int = 1) -> None:
     _REGISTRY.count(name, n)
 
 
+def gauge(name: str, value: float) -> None:
+    _REGISTRY.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    _REGISTRY.observe(name, value)
+
+
 def reset() -> None:
     _REGISTRY.reset()
 
 
 def report() -> dict:
     return _REGISTRY.report()
+
+
+def snapshot() -> dict:
+    return _REGISTRY.snapshot()
 
 
 def render() -> str:

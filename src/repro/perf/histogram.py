@@ -1,0 +1,156 @@
+"""Fixed-log-bucket latency histograms.
+
+Every span path (and every explicit :func:`repro.perf.observe` call)
+accumulates into a :class:`Histogram`: a fixed array of buckets whose
+upper bounds grow geometrically, 20 per decade, from 1µs to 100s. Fixed
+buckets make recording O(1) with no allocation on the hot path, make
+two histograms mergeable by element-wise addition (per-thread shards,
+multi-process aggregation), and map directly onto Prometheus histogram
+exposition (cumulative ``le`` buckets).
+
+Quantiles are estimated by linear interpolation inside the bucket that
+crosses the target rank. With 20 buckets per decade adjacent bounds
+differ by ~12%, so the worst-case relative error of a quantile estimate
+is ~6% — tight enough that p50/p90/p99 from a histogram track
+``numpy.percentile`` of the raw samples (see tests/perf).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Histogram", "BUCKET_BOUNDS", "BUCKETS_PER_DECADE"]
+
+# Bucket i covers (BUCKET_BOUNDS[i-1], BUCKET_BOUNDS[i]]; bucket 0 also
+# absorbs everything <= _LO (including zero/negative durations from
+# clock quantisation). One extra overflow bucket catches > _HI.
+_LO = 1e-6  # 1 µs
+_DECADES = 8  # up to 100 s
+BUCKETS_PER_DECADE = 20
+_N = _DECADES * BUCKETS_PER_DECADE + 1
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    _LO * 10.0 ** (i / BUCKETS_PER_DECADE) for i in range(_N)
+)
+_LOG_LO = math.log10(_LO)
+
+
+class Histogram:
+    """Fixed log-bucket histogram of non-negative samples (seconds).
+
+    Tracks exact ``count``/``sum``/``min``/``max`` alongside the bucket
+    counts, so means and extremes are not subject to bucketing error.
+    """
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (_N + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- recording ---------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        if value <= _LO:
+            idx = 0
+        else:
+            idx = math.ceil((math.log10(value) - _LOG_LO) * BUCKETS_PER_DECADE)
+            if idx >= _N:
+                idx = _N  # overflow bucket
+        self.counts[idx] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Element-wise accumulate ``other`` into this histogram."""
+        counts = self.counts
+        for i, c in enumerate(other.counts):
+            counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    def copy(self) -> "Histogram":
+        out = Histogram()
+        out.merge(self)
+        return out
+
+    # -- estimation --------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` in [0, 1].
+
+        Interpolates linearly within the crossing bucket and clamps to
+        the exactly-tracked [min, max] so the tails never report a
+        value outside what was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if seen + c >= rank:
+                lo = 0.0 if i == 0 else BUCKET_BOUNDS[i - 1]
+                hi = BUCKET_BOUNDS[min(i, _N - 1)]
+                frac = (rank - seen) / c
+                value = lo + (hi - lo) * frac
+                return min(max(value, self.min), self.max)
+            seen += c
+        return self.max
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard report tuple: p50/p90/p99 plus exact max."""
+        return {
+            "p50_s": self.quantile(0.50),
+            "p90_s": self.quantile(0.90),
+            "p99_s": self.quantile(0.99),
+            "max_s": self.max if self.count else 0.0,
+        }
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        out = {"count": self.count, "sum_s": self.sum, "mean_s": self.mean}
+        if self.count:
+            out.update(self.percentiles())
+            out["min_s"] = self.min
+        return out
+
+    def cumulative_buckets(self, per_decade: int = 5) -> list[tuple[float, int]]:
+        """Cumulative ``(le_upper_bound, count)`` pairs for Prometheus.
+
+        Export is coarsened to ``per_decade`` bounds per decade (the
+        full 20/decade resolution stays internal for quantiles) so one
+        histogram emits ~40 bucket lines instead of ~160. The final
+        pair is ``(inf, count)``.
+        """
+        if per_decade < 1 or BUCKETS_PER_DECADE % per_decade:
+            raise ValueError(
+                f"per_decade must divide {BUCKETS_PER_DECADE}, got {per_decade}"
+            )
+        step = BUCKETS_PER_DECADE // per_decade
+        out: list[tuple[float, int]] = []
+        running = 0
+        for i, c in enumerate(self.counts[:-1]):
+            running += c
+            if i % step == 0:
+                out.append((BUCKET_BOUNDS[i], running))
+        out.append((math.inf, self.count))
+        return out

@@ -1,12 +1,17 @@
 """High-throughput model serving: micro-batched inference over the
 registry baselines. See :mod:`repro.serve.engine`."""
 
-from repro.serve.bench import ServeBenchResult, run_serve_bench
+from repro.serve.bench import (
+    ServeBenchResult,
+    latency_quantiles,
+    run_serve_bench,
+)
 from repro.serve.engine import EngineConfig, InferenceEngine
 
 __all__ = [
     "EngineConfig",
     "InferenceEngine",
     "ServeBenchResult",
+    "latency_quantiles",
     "run_serve_bench",
 ]

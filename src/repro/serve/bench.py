@@ -1,24 +1,45 @@
-"""Serving throughput benchmark: engine vs per-window scoring.
+"""Serving throughput + latency benchmark: engine vs per-window scoring.
 
-Backs ``python -m repro serve-bench`` and the serve section of
-``scripts/bench_pr2.py``. The "before" path scores one window per
-``predict_proba`` call (the naive deployment); the "after" path routes
-the same windows through :class:`InferenceEngine.predict_many`. Outputs
-are checked to match: labels must be bitwise identical, probabilities
-agree to float summation-order noise.
+Backs ``python -m repro serve-bench`` and the serve sections of
+``scripts/bench_pr2.py`` / ``scripts/bench_pr3.py``. The "before" path
+scores one window per ``predict_proba`` call (the naive deployment);
+the "after" path routes the same windows through
+:class:`InferenceEngine.predict_many`. Outputs are checked to match:
+labels must be bitwise identical, probabilities agree to float
+summation-order noise.
+
+A third phase drives the *async* micro-batched path — one
+``submit()`` per request — and reports per-request end-to-end latency
+and queue wait quantiles (p50/p90/p99/max) straight from the engine's
+request traces, the numbers a deployment's SLO lives on.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.serve.engine import EngineConfig, InferenceEngine
 from repro.temporal.windows import PostWindow
 
-__all__ = ["ServeBenchResult", "run_serve_bench"]
+__all__ = ["ServeBenchResult", "latency_quantiles", "run_serve_bench"]
+
+
+def latency_quantiles(samples_ms: list[float]) -> dict:
+    """p50/p90/p99/max (ms) of a latency sample list."""
+    if not samples_ms:
+        return {"p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+    arr = np.asarray(samples_ms, dtype=np.float64)
+    p50, p90, p99 = np.percentile(arr, [50, 90, 99])
+    return {
+        "p50_ms": float(p50),
+        "p90_ms": float(p90),
+        "p99_ms": float(p99),
+        "max_ms": float(arr.max()),
+    }
 
 
 @dataclass
@@ -33,6 +54,10 @@ class ServeBenchResult:
     labels_identical: bool
     max_prob_diff: float
     engine_stats: dict
+    async_s: float = 0.0
+    async_throughput: float = 0.0
+    latency: dict = field(default_factory=dict)
+    queue_wait: dict = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -48,6 +73,10 @@ class ServeBenchResult:
             "speedup": self.speedup,
             "labels_identical": self.labels_identical,
             "max_prob_diff": self.max_prob_diff,
+            "async_s": self.async_s,
+            "async_throughput_rps": self.async_throughput,
+            "latency": self.latency,
+            "queue_wait": self.queue_wait,
             "engine_stats": self.engine_stats,
         }
 
@@ -61,7 +90,10 @@ def run_serve_bench(
     """Score ``requests`` windows per-window and via the engine.
 
     ``windows`` is cycled to reach the request count, mimicking repeat
-    traffic (which also exercises the tokenization cache).
+    traffic (which also exercises the tokenization cache). The async
+    phase submits every request individually through the micro-batcher
+    and, when tracing is enabled, derives the latency/queue-wait
+    quantiles from the request traces.
     """
     if not windows:
         raise ValueError("serve bench needs at least one window")
@@ -71,14 +103,33 @@ def run_serve_bench(
     before = np.vstack([model.predict_proba([w]) for w in traffic])
     before_s = time.perf_counter() - start
 
-    with InferenceEngine(model, config) as engine:
+    config = config or EngineConfig()
+    # Size the ring to hold the whole run so quantiles see every request
+    # (tracing itself is honoured as configured, so overhead runs can
+    # turn it off and still use this harness).
+    trace_config = dataclasses.replace(
+        config, trace_ring_size=max(config.trace_ring_size, requests)
+    )
+
+    with InferenceEngine(model, trace_config) as engine:
         # Warm call outside the timed region: first-touch costs (cache
         # install, lazy imports) belong to startup, not steady state.
         engine.predict_many(traffic[:1])
         start = time.perf_counter()
         after = engine.predict_many(traffic)
         after_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        futures = [engine.submit(w) for w in traffic]
+        for future in futures:
+            future.result(timeout=60.0)
+        async_s = time.perf_counter() - start
+
+        traces = engine.recent_traces(limit=requests)
         stats = engine.stats()
+
+    latency = latency_quantiles([t["total_ms"] for t in traces])
+    queue_wait = latency_quantiles([t["queue_wait_ms"] for t in traces])
 
     return ServeBenchResult(
         requests=requests,
@@ -91,4 +142,8 @@ def run_serve_bench(
         ),
         max_prob_diff=float(np.abs(before - after).max()),
         engine_stats=stats,
+        async_s=async_s,
+        async_throughput=requests / async_s if async_s else float("inf"),
+        latency=latency,
+        queue_wait=queue_wait,
     )

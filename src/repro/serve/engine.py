@@ -19,7 +19,13 @@ overhead — python dispatch, feature/tokenization setup, tiny gemms. The
   queue entirely and feeds size-capped batches straight to the model.
 
 All scoring runs under :func:`repro.nn.no_grad`, and every stage is
-instrumented through ``repro.perf`` (``serve.*`` spans and counters).
+instrumented through ``repro.perf``: ``serve.*`` spans/counters, gauges
+(queue depth, in-flight batches, tokenization-cache occupancy),
+per-request latency/queue-wait histograms, and — on the async path — a
+full lifecycle *trace* per request (enqueue → batch_assembly →
+tokenize → forward → scatter → complete) kept in a bounded ring buffer,
+with requests over ``slow_threshold_s`` appended to a JSONL slow log.
+See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from repro.core.errors import ModelError
 from repro.core.lru import LRUCache
 from repro.models.base import RiskModel
 from repro.nn import no_grad
+from repro.perf.tracing import Trace, Tracer
 from repro.temporal.windows import PostWindow
 
 __all__ = ["EngineConfig", "InferenceEngine"]
@@ -58,12 +65,29 @@ class EngineConfig:
     num_workers:
         Threads executing coalesced batches. BLAS kernels release the
         GIL, so >1 overlaps batch compute under concurrent traffic.
+    tracing:
+        Trace every async request's lifecycle (six timestamped events)
+        and feed the per-request latency/queue-wait histograms. Cheap
+        enough to leave on (see BENCH_PR3.json); disable only to shave
+        the last percent off a bulk benchmark.
+    trace_ring_size:
+        How many finished traces the in-memory ring retains.
+    slow_threshold_s:
+        Requests at/over this end-to-end latency are counted as slow
+        and appended to ``slow_log_path``.
+    slow_log_path:
+        JSONL file receiving slow-request traces; ``None`` disables the
+        file (slow requests are still counted and ring-buffered).
     """
 
     max_batch_size: int = 32
     max_wait_s: float = 0.005
     tokenization_cache_size: int = 8192
     num_workers: int = 1
+    tracing: bool = True
+    trace_ring_size: int = 256
+    slow_threshold_s: float = 1.0
+    slow_log_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -72,6 +96,10 @@ class EngineConfig:
             raise ValueError("max_wait_s must be >= 0")
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if self.trace_ring_size < 1:
+            raise ValueError("trace_ring_size must be >= 1")
+        if self.slow_threshold_s < 0:
+            raise ValueError("slow_threshold_s must be >= 0")
 
 
 class InferenceEngine:
@@ -99,11 +127,17 @@ class InferenceEngine:
         self.model = model
         self.config = config or EngineConfig()
         self.tokenization_cache = LRUCache(self.config.tokenization_cache_size)
+        self.tracer = Tracer(
+            ring_size=self.config.trace_ring_size,
+            slow_threshold_s=self.config.slow_threshold_s,
+            slow_log_path=self.config.slow_log_path,
+        )
         self._queue: queue.Queue = queue.Queue()
         self._batch_queue: queue.Queue = queue.Queue()
         self._closed = False
         self._batches = 0
         self._batched_items = 0
+        self._in_flight = 0
         self._lock = threading.Lock()
         self._original_encode = None
         self._install_tokenization_cache()
@@ -184,11 +218,22 @@ class InferenceEngine:
     # -- asynchronous micro-batched path -----------------------------------
 
     def submit(self, window: PostWindow) -> Future:
-        """Queue one window; resolves to its (C,) probability vector."""
+        """Queue one window; resolves to its (C,) probability vector.
+
+        When tracing is on, the request's trace is exposed as
+        ``future.trace`` so callers can correlate results with their
+        lifecycle timings.
+        """
         self._ensure_open()
         future: Future = Future()
-        self._queue.put((window, future))
+        trace: Trace | None = None
+        if self.config.tracing:
+            trace = self.tracer.start()
+            trace.event("enqueue")
+            future.trace = trace  # type: ignore[attr-defined]
+        self._queue.put((window, future, trace))
         perf.count("serve.requests")
+        perf.gauge("serve.queue_depth", self._queue.qsize())
         return future
 
     def predict_one(self, window: PostWindow, timeout: float | None = None):
@@ -217,10 +262,23 @@ class InferenceEngine:
                 except queue.Empty:
                     break
                 if extra is _SHUTDOWN:
-                    self._batch_queue.put(batch)
+                    self._dispatch(batch)
                     return
                 batch.append(extra)
-            self._batch_queue.put(batch)
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list) -> None:
+        """Hand an assembled batch to the workers, stamping traces."""
+        now = time.perf_counter()
+        for _, _, trace in batch:
+            if trace is not None:
+                trace.event("batch_assembly", now)
+        with self._lock:
+            self._in_flight += 1
+            in_flight = self._in_flight
+        perf.gauge("serve.in_flight_batches", in_flight)
+        perf.gauge("serve.queue_depth", self._queue.qsize())
+        self._batch_queue.put(batch)
 
     def _worker_loop(self) -> None:
         while True:
@@ -229,19 +287,65 @@ class InferenceEngine:
                 return
             self._run_batch(batch)
 
-    def _run_batch(self, batch: list[tuple[PostWindow, Future]]) -> None:
-        windows = [window for window, _ in batch]
+    def _stamp(self, batch: list, name: str) -> None:
+        now = time.perf_counter()
+        for _, _, trace in batch:
+            if trace is not None:
+                trace.event(name, now)
+
+    def _run_batch(
+        self, batch: list[tuple[PostWindow, Future, Trace | None]]
+    ) -> None:
+        windows = [window for window, _, _ in batch]
         try:
             with perf.span("serve.batch"):
                 with no_grad():
+                    self._stamp(batch, "tokenize")
+                    if self.config.tracing:
+                        self._warm_tokenization(windows)
+                    self._stamp(batch, "forward")
                     probs = self.model.predict_proba(windows)
+            self._stamp(batch, "scatter")
             self._record_batch(len(batch))
-            for (_, future), row in zip(batch, probs):
+            for (_, future, _), row in zip(batch, probs):
                 future.set_result(row)
+            self._finish_traces(batch, len(batch))
         except Exception as exc:  # propagate to every waiter
-            for _, future in batch:
+            for _, future, _ in batch:
                 if not future.done():
                     future.set_exception(exc)
+            self._stamp(batch, "error")
+            self._finish_traces(batch, len(batch))
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+                in_flight = self._in_flight
+            perf.gauge("serve.in_flight_batches", in_flight)
+
+    def _warm_tokenization(self, windows: list[PostWindow]) -> None:
+        """Pre-encode through the memoised per-post encoder.
+
+        Separates the tokenize phase from the forward pass for tracing:
+        the inner ``predict_proba`` re-encode then hits the LRU, so the
+        work is done once either way. Feature models without a pipeline
+        encoder skip this (their tokenize→forward gap reads ~0).
+        """
+        pipeline = getattr(self.model, "pipeline", None)
+        encode = getattr(pipeline, "encode", None)
+        if encode is not None:
+            encode(windows)
+
+    def _finish_traces(self, batch: list, batch_size: int) -> None:
+        for _, _, trace in batch:
+            if trace is None:
+                continue
+            trace.event("complete")
+            trace.metadata["batch_size"] = batch_size
+            self.tracer.finish(trace)
+            perf.observe("serve.request.latency_seconds", trace.total_s)
+            perf.observe(
+                "serve.request.queue_wait_seconds", trace.queue_wait_s
+            )
 
     def _record_batch(self, size: int) -> None:
         with self._lock:
@@ -249,6 +353,10 @@ class InferenceEngine:
             self._batched_items += size
         perf.count("serve.batches")
         perf.count("serve.batched_items", size)
+        perf.gauge(
+            "serve.tokenize_cache.size",
+            self.tokenization_cache.stats()["size"],
+        )
 
     # -- lifecycle / introspection -----------------------------------------
 
@@ -257,17 +365,24 @@ class InferenceEngine:
             raise RuntimeError("InferenceEngine is closed")
 
     def stats(self) -> dict:
-        """Batching and cache counters for monitoring."""
+        """Batching, cache, and tracing counters for monitoring."""
         with self._lock:
             batches = self._batches
             items = self._batched_items
+            in_flight = self._in_flight
         return {
             "batches": batches,
             "batched_items": items,
             "mean_batch_size": items / batches if batches else 0.0,
             "queue_depth": self._queue.qsize(),
+            "in_flight_batches": in_flight,
             "tokenization_cache": self.tokenization_cache.stats(),
+            "traces": self.tracer.stats(),
         }
+
+    def recent_traces(self, limit: int | None = None) -> list[dict]:
+        """Finished request traces from the ring buffer, newest first."""
+        return self.tracer.recent(limit=limit)
 
     def close(self) -> None:
         if self._closed:
@@ -288,7 +403,7 @@ class InferenceEngine:
             except queue.Empty:
                 break
             if item is not _SHUTDOWN:
-                _, future = item
+                _, future, _ = item
                 if not future.done():
                     future.set_exception(RuntimeError("engine closed"))
         self._uninstall_tokenization_cache()

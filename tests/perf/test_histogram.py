@@ -1,0 +1,134 @@
+"""Fixed-log-bucket histogram: recording, merging, quantile accuracy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.perf.histogram import BUCKET_BOUNDS, Histogram
+
+
+class TestRecording:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.quantile(0.5) == 0.0
+        assert h.as_dict()["count"] == 0
+
+    def test_exact_count_sum_min_max(self):
+        h = Histogram()
+        for v in [0.001, 0.01, 0.1, 1.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(1.111)
+        assert h.min == pytest.approx(0.001)
+        assert h.max == pytest.approx(1.0)
+        assert h.mean == pytest.approx(1.111 / 4)
+
+    def test_sub_microsecond_and_zero_go_to_first_bucket(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(1e-9)
+        assert h.counts[0] == 2
+
+    def test_overflow_bucket(self):
+        h = Histogram()
+        h.observe(1e6)  # way past 100s
+        assert h.counts[-1] == 1
+        assert h.quantile(0.5) == pytest.approx(1e6)  # clamped to max
+
+    def test_bounds_are_geometric(self):
+        ratios = [
+            BUCKET_BOUNDS[i + 1] / BUCKET_BOUNDS[i]
+            for i in range(len(BUCKET_BOUNDS) - 1)
+        ]
+        assert all(r == pytest.approx(10 ** 0.05) for r in ratios)
+
+
+class TestQuantiles:
+    """Histogram quantiles must track numpy percentiles of raw samples."""
+
+    @pytest.mark.parametrize("dist", ["lognormal", "uniform", "bimodal"])
+    def test_against_numpy_percentiles(self, dist):
+        rng = np.random.default_rng(0)
+        if dist == "lognormal":
+            samples = rng.lognormal(mean=-5.0, sigma=1.5, size=5000)
+        elif dist == "uniform":
+            samples = rng.uniform(1e-4, 1e-1, size=5000)
+        else:
+            # Sized so p50/p90/p99 all land inside the upper mode —
+            # quantiles falling in the empty gap between modes are
+            # ill-defined for any estimator.
+            samples = np.concatenate([
+                rng.normal(2e-3, 2e-4, size=2000).clip(1e-5),
+                rng.normal(8e-2, 5e-3, size=3000).clip(1e-5),
+            ])
+        h = Histogram()
+        for v in samples:
+            h.observe(float(v))
+        for q in (0.50, 0.90, 0.99):
+            expected = float(np.percentile(samples, q * 100))
+            got = h.quantile(q)
+            # 20 log buckets/decade → ~6% worst-case interpolation error
+            assert got == pytest.approx(expected, rel=0.12), (dist, q)
+
+    def test_single_sample(self):
+        h = Histogram()
+        h.observe(0.005)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == pytest.approx(0.005, rel=0.12)
+
+    def test_percentiles_keys(self):
+        h = Histogram()
+        h.observe(0.01)
+        pct = h.percentiles()
+        assert set(pct) == {"p50_s", "p90_s", "p99_s", "max_s"}
+        assert pct["max_s"] == pytest.approx(0.01)
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+
+class TestMerge:
+    def test_merge_equals_combined_stream(self):
+        rng = np.random.default_rng(1)
+        a_samples = rng.lognormal(-6, 1, size=1000)
+        b_samples = rng.lognormal(-3, 0.5, size=1000)
+        a, b, combined = Histogram(), Histogram(), Histogram()
+        for v in a_samples:
+            a.observe(float(v))
+            combined.observe(float(v))
+        for v in b_samples:
+            b.observe(float(v))
+            combined.observe(float(v))
+        a.merge(b)
+        assert a.counts == combined.counts
+        assert a.count == combined.count
+        assert a.sum == pytest.approx(combined.sum)
+        assert a.min == combined.min
+        assert a.max == combined.max
+
+    def test_copy_is_independent(self):
+        h = Histogram()
+        h.observe(0.01)
+        c = h.copy()
+        c.observe(0.02)
+        assert h.count == 1
+        assert c.count == 2
+
+
+class TestCumulativeBuckets:
+    def test_cumulative_and_inf_terminated(self):
+        h = Histogram()
+        for v in [1e-5, 1e-3, 1e-1, 10.0, 1e7]:
+            h.observe(v)
+        buckets = h.cumulative_buckets()
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1][0] == math.inf
+        assert buckets[-1][1] == h.count  # includes the overflow sample
+
+    def test_per_decade_must_divide(self):
+        with pytest.raises(ValueError):
+            Histogram().cumulative_buckets(per_decade=3)

@@ -1,0 +1,105 @@
+"""Tracer: lifecycle events, ring buffer bounds, slow-request JSONL."""
+
+import json
+import threading
+
+from repro.perf.tracing import LIFECYCLE_EVENTS, Tracer
+
+
+def finish_one(tracer, events=LIFECYCLE_EVENTS, t_step=0.001):
+    trace = tracer.start()
+    t = 0.0
+    for name in events:
+        trace.event(name, t)
+        t += t_step
+    tracer.finish(trace)
+    return trace
+
+
+class TestTrace:
+    def test_ids_are_unique_and_ordered(self):
+        tracer = Tracer()
+        ids = [tracer.start().trace_id for _ in range(5)]
+        assert len(set(ids)) == 5
+        assert ids == sorted(ids)
+
+    def test_total_and_queue_wait(self):
+        tracer = Tracer()
+        trace = tracer.start()
+        trace.event("enqueue", 1.0)
+        trace.event("batch_assembly", 1.25)
+        trace.event("complete", 2.0)
+        assert trace.total_s == 1.0
+        assert trace.queue_wait_s == 0.25
+
+    def test_as_dict_relative_timestamps(self):
+        tracer = Tracer()
+        trace = finish_one(tracer)
+        d = trace.as_dict()
+        names = [e["name"] for e in d["events"]]
+        assert names == list(LIFECYCLE_EVENTS)
+        times = [e["t_ms"] for e in d["events"]]
+        assert times[0] == 0.0
+        assert times == sorted(times)
+        assert d["total_ms"] == times[-1]
+
+
+class TestRing:
+    def test_ring_bounded_newest_kept(self):
+        tracer = Tracer(ring_size=3, slow_threshold_s=100.0)
+        for _ in range(10):
+            finish_one(tracer)
+        recent = tracer.recent()
+        assert len(recent) == 3
+        # Newest first, and the oldest seven were evicted.
+        assert recent[0]["trace_id"] == "req-000010"
+        assert recent[-1]["trace_id"] == "req-000008"
+        stats = tracer.stats()
+        assert stats["finished"] == 10
+        assert stats["in_ring"] == 3
+
+    def test_recent_limit(self):
+        tracer = Tracer(ring_size=10)
+        for _ in range(5):
+            finish_one(tracer)
+        assert len(tracer.recent(limit=2)) == 2
+
+    def test_concurrent_finish_is_safe(self):
+        tracer = Tracer(ring_size=64)
+        threads = [
+            threading.Thread(
+                target=lambda: [finish_one(tracer) for _ in range(50)]
+            )
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tracer.stats()["finished"] == 200
+        assert len(tracer.recent()) == 64
+
+
+class TestSlowLog:
+    def test_slow_request_logged_as_jsonl(self, tmp_path):
+        log = tmp_path / "slow" / "requests.jsonl"
+        tracer = Tracer(slow_threshold_s=0.005, slow_log_path=log)
+        finish_one(tracer, t_step=0.0001)  # fast: 0.5ms total
+        slow = finish_one(tracer, t_step=0.01)  # slow: 50ms total
+        assert tracer.stats()["slow"] == 1
+        lines = log.read_text().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["trace_id"] == slow.trace_id
+        assert [e["name"] for e in entry["events"]] == list(LIFECYCLE_EVENTS)
+
+    def test_no_log_path_still_counts(self):
+        tracer = Tracer(slow_threshold_s=0.001)
+        finish_one(tracer, t_step=0.01)
+        assert tracer.stats()["slow"] == 1
+
+    def test_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Tracer(ring_size=0)

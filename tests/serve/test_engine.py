@@ -120,6 +120,106 @@ def test_error_propagates_to_futures(fitted_logreg):
             future.result(timeout=10.0)
 
 
+class TestTracing:
+    def test_async_request_is_traced_with_lifecycle_events(
+        self, fitted_logreg, small_splits
+    ):
+        from repro.perf.tracing import LIFECYCLE_EVENTS
+
+        with InferenceEngine(fitted_logreg) as eng:
+            future = eng.submit(small_splits.test[0])
+            future.result(timeout=10.0)
+            traces = eng.recent_traces()
+        assert len(traces) == 1
+        trace = traces[0]
+        names = [e["name"] for e in trace["events"]]
+        assert names == list(LIFECYCLE_EVENTS)
+        times = [e["t_ms"] for e in trace["events"]]
+        assert times == sorted(times)
+        assert trace["total_ms"] > 0
+        assert trace["metadata"]["batch_size"] == 1
+
+    def test_slow_request_hits_ring_and_jsonl(
+        self, fitted_logreg, small_splits, tmp_path, monkeypatch
+    ):
+        """A deliberately slow request must surface in the trace ring
+        buffer AND the slow-request JSONL with all six lifecycle events
+        in order."""
+        import json
+        import time as _time
+
+        from repro.perf.tracing import LIFECYCLE_EVENTS
+
+        real_predict = fitted_logreg.predict_proba
+
+        def slow_predict(windows):
+            _time.sleep(0.05)
+            return real_predict(windows)
+
+        monkeypatch.setattr(fitted_logreg, "predict_proba", slow_predict)
+        log = tmp_path / "slow_requests.jsonl"
+        config = EngineConfig(
+            slow_threshold_s=0.02, slow_log_path=str(log)
+        )
+        with InferenceEngine(fitted_logreg, config) as eng:
+            future = eng.submit(small_splits.test[0])
+            future.result(timeout=10.0)
+            ring = eng.recent_traces()
+            stats = eng.stats()
+
+        assert stats["traces"]["slow"] == 1
+        assert len(ring) == 1
+        entries = [json.loads(line) for line in log.read_text().splitlines()]
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["trace_id"] == ring[0]["trace_id"]
+        names = [e["name"] for e in entry["events"]]
+        assert names == list(LIFECYCLE_EVENTS)
+        times = [e["t_ms"] for e in entry["events"]]
+        assert times == sorted(times)
+        assert entry["total_ms"] >= 20.0
+
+    def test_tracing_disabled_records_nothing(
+        self, fitted_logreg, small_splits
+    ):
+        config = EngineConfig(tracing=False)
+        with InferenceEngine(fitted_logreg, config) as eng:
+            future = eng.submit(small_splits.test[0])
+            future.result(timeout=10.0)
+            assert eng.recent_traces() == []
+            assert eng.stats()["traces"]["finished"] == 0
+
+    def test_latency_observations_feed_registry(
+        self, fitted_logreg, small_splits
+    ):
+        perf.reset()
+        with InferenceEngine(fitted_logreg) as eng:
+            futures = [eng.submit(w) for w in small_splits.test[:4]]
+            for f in futures:
+                f.result(timeout=10.0)
+        snap = perf.snapshot()
+        lat = snap["observations"]["serve.request.latency_seconds"]
+        assert lat["hist"]["count"] == 4
+        assert "serve.request.queue_wait_seconds" in snap["observations"]
+        assert "serve.queue_depth" in snap["gauges"]
+        assert "serve.in_flight_batches" in snap["gauges"]
+        perf.reset()
+
+    def test_ring_buffer_is_bounded(self, fitted_logreg, small_splits):
+        config = EngineConfig(trace_ring_size=4)
+        with InferenceEngine(fitted_logreg, config) as eng:
+            futures = [
+                eng.submit(small_splits.test[i % len(small_splits.test)])
+                for i in range(10)
+            ]
+            for f in futures:
+                f.result(timeout=10.0)
+            traces = eng.recent_traces()
+            stats = eng.stats()
+        assert len(traces) == 4
+        assert stats["traces"]["finished"] == 10
+
+
 def test_tokenization_cache_restored_after_close(small_splits, small_dataset):
     from repro.models.neural_common import TrainerConfig
     from repro.models.plm import PLMConfig
