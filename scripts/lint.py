@@ -1,0 +1,18 @@
+"""Convenience wrapper for the repro static analyzer.
+
+Mirrors scripts/bench_smoke.py: a one-file entry point for pre-merge
+hygiene, equivalent to ``python -m repro lint`` (same flags, same exit
+codes — 0 clean/baselined, 1 new findings or stale baseline entries).
+
+Usage:
+    PYTHONPATH=src python scripts/lint.py [paths...] [--format json] ...
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,52 @@
+"""Static analysis (``repro lint``): codebase-specific AST rules.
+
+A single-pass lint engine (:mod:`repro.analysis.engine`) runs six
+repo-specific rules (:mod:`repro.analysis.rules`) that turn this
+reproduction's discipline into machine-checked invariants:
+
+==============  =======================================================
+REPRO-LOCK      lock-owning classes mutate state under their lock
+REPRO-RNG       randomness flows through explicit np.random.Generators
+REPRO-TWIN      vectorized kernels keep their ``_reference`` twin + test
+REPRO-CLOCK     no wall-clock reads outside repro.perf / repro.serve
+REPRO-METRIC    perf.* name literals render valid Prometheus exposition
+REPRO-EXCEPT    broad excepts re-raise, fail a Future, or justify
+==============  =======================================================
+
+Inline suppression: ``# repro: noqa[REPRO-RNG]`` on the offending line.
+Grandfathered findings: ``lint_baseline.json`` (every entry justified;
+stale entries fail the run). CLI: ``python -m repro lint [paths]``;
+docs: ``docs/static_analysis.md``.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, BaselineError
+from repro.analysis.engine import (
+    FileContext,
+    Finding,
+    LintEngine,
+    LintResult,
+    Project,
+    Severity,
+)
+from repro.analysis.reporters import LintReport, render_json, render_text
+from repro.analysis.rules import RULES, Rule, default_rules, register, rule_ids
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "LintResult",
+    "Project",
+    "RULES",
+    "Rule",
+    "Severity",
+    "default_rules",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_ids",
+]

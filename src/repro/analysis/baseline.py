@@ -1,0 +1,126 @@
+"""JSON baseline: grandfathered findings that must stay justified.
+
+A baseline entry matches findings by ``(rule, path, context)`` where
+``context`` is the stripped source line — line numbers churn with every
+edit above the finding, the line's text does not. Every entry must carry
+a non-empty ``description`` saying *why* the finding is acceptable;
+loading a baseline with an unjustified entry is an error, so
+justifications cannot rot away silently.
+
+Entries that match nothing are *stale* and reported as failures: once a
+grandfathered finding is fixed, its entry must be deleted. Baselines
+therefore shrink monotonically — the file records debt being paid down,
+never a growing pile of ignores.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.engine import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "BaselineError"]
+
+FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file (bad JSON, missing keys, no justification)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    context: str
+    description: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            self.rule == finding.rule
+            and self.path == finding.path
+            and self.context == finding.context
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "context": self.context,
+            "description": self.description,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=[])
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}")
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise BaselineError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        entries = []
+        for i, raw in enumerate(payload["entries"]):
+            missing = {"rule", "path", "context", "description"} - set(raw)
+            if missing:
+                raise BaselineError(
+                    f"baseline {path} entry {i} missing {sorted(missing)}"
+                )
+            if not str(raw["description"]).strip():
+                raise BaselineError(
+                    f"baseline {path} entry {i} ({raw['rule']} at "
+                    f"{raw['path']}) has an empty description — every "
+                    f"grandfathered finding must be justified"
+                )
+            entries.append(BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                context=str(raw["context"]),
+                description=str(raw["description"]),
+            ))
+        return cls(entries=entries)
+
+    def apply(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (new, baselined); third item is stale entries.
+
+        An entry may cover several findings (same line content appearing
+        twice keeps one justification); an entry covering none is stale.
+        """
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        used = [False] * len(self.entries)
+        for finding in findings:
+            hit = False
+            for i, entry in enumerate(self.entries):
+                if entry.matches(finding):
+                    used[i] = True
+                    hit = True
+            (baselined if hit else new).append(finding)
+        stale = [e for i, e in enumerate(self.entries) if not used[i]]
+        return new, baselined, stale
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        payload = {
+            "version": FORMAT_VERSION,
+            "entries": [e.as_dict() for e in self.entries],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path

@@ -1,0 +1,107 @@
+"""REPRO-CLOCK: no wall-clock reads in deterministic modules.
+
+The build cache (``repro/core/cache.py``) addresses a build by a sha256
+of its canonical config; corpus timestamps come from seeded simulation
+over the config's date range. A ``time.time()`` or ``datetime.now()``
+anywhere in the pipeline/experiment/corpus layers injects the host
+clock into that deterministic world — cache keys stop being
+content-addressed, rebuilt corpora stop matching, multi-seed runs stop
+being comparable.
+
+Telemetry legitimately wants wall time (trace anchors, latency logs),
+so the ``repro.perf`` and ``repro.serve`` subpackages are allowlisted.
+Monotonic clocks (``time.perf_counter``, ``time.monotonic``) are always
+fine — they measure durations, not world state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import FileContext
+from repro.analysis.rules import Rule, register
+
+#: Module prefixes where wall-clock reads are legitimate.
+ALLOWLIST_PREFIXES = ("repro.perf", "repro.serve")
+
+_DATETIME_READS = {"now", "utcnow", "today"}
+
+
+@register
+class WallClockRule(Rule):
+    id = "REPRO-CLOCK"
+    description = (
+        "no time.time()/datetime.now() outside perf/serve — wall-clock "
+        "reads break cache-key and corpus determinism"
+    )
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._active = not (
+            ctx.module is not None
+            and ctx.module.startswith(ALLOWLIST_PREFIXES)
+        )
+        self._time_mods: set[str] = set()
+        self._time_fns: set[str] = set()
+        self._dt_mods: set[str] = set()
+        self._dt_classes: set[str] = set()
+        self._date_classes: set[str] = set()
+        if not self._active:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "time":
+                        self._time_mods.add(bound)
+                    elif alias.name == "datetime":
+                        self._dt_mods.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name == "time":
+                            self._time_fns.add(alias.asname or "time")
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name == "datetime":
+                            self._dt_classes.add(alias.asname or "datetime")
+                        elif alias.name == "date":
+                            self._date_classes.add(alias.asname or "date")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if not self._active or not isinstance(node, ast.Call):
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._time_fns:
+            self._report(node, "time.time()", ctx)
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        value = func.value
+        if isinstance(value, ast.Name):
+            if value.id in self._time_mods and func.attr == "time":
+                self._report(node, f"{value.id}.time()", ctx)
+            elif (
+                value.id in self._dt_classes
+                and func.attr in _DATETIME_READS
+            ):
+                self._report(node, f"{value.id}.{func.attr}()", ctx)
+            elif value.id in self._date_classes and func.attr == "today":
+                self._report(node, f"{value.id}.today()", ctx)
+        elif (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self._dt_mods
+            and value.attr in ("datetime", "date")
+            and func.attr in _DATETIME_READS
+        ):
+            self._report(
+                node, f"{value.value.id}.{value.attr}.{func.attr}()", ctx
+            )
+
+    def _report(self, node: ast.Call, what: str, ctx: FileContext) -> None:
+        ctx.report(
+            self, node.lineno,
+            f"wall-clock read {what} in a deterministic module — derive "
+            f"timestamps from the seeded config, or move the code under "
+            f"repro.perf/repro.serve (allowlisted)",
+        )

@@ -1,0 +1,79 @@
+"""REPRO-EXCEPT: broad exception handlers may not swallow silently.
+
+``except Exception`` / bare ``except`` has three legitimate shapes in
+this codebase: it *re-raises* after cleanup, it *fails a Future* so a
+waiter sees the error (the serving engine's batch worker), or it
+deliberately degrades — in which case the handler must say why, in a
+comment on the ``except`` line or the first line of its body, and
+ideally record the event (``perf.count("cache.read_error")``) so the
+degradation is observable. A broad handler with none of the three is
+exactly how the build cache silently ate corrupt entries.
+
+Narrow handlers (``except (OSError, json.JSONDecodeError)``) are out of
+scope: naming the exception types is already the documentation.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import FileContext
+from repro.analysis.rules import Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(type_node: ast.expr | None) -> bool:
+    if type_node is None:
+        return True
+    if isinstance(type_node, ast.Name):
+        return type_node.id in _BROAD
+    if isinstance(type_node, ast.Tuple):
+        return any(_is_broad(elt) for elt in type_node.elts)
+    return False
+
+
+def _handles(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "set_exception"
+        ):
+            return True
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    id = "REPRO-EXCEPT"
+    description = (
+        "except Exception / bare except must re-raise, fail a Future, "
+        "or carry a justifying comment"
+    )
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if not isinstance(node, ast.ExceptHandler):
+            return
+        if not _is_broad(node.type):
+            return
+        if _handles(node):
+            return
+        # A justifying comment may trail the except line, sit on the
+        # lines between it and the first statement, or trail that first
+        # statement — the places a "why we swallow" note naturally goes.
+        last = node.body[0].lineno if node.body else node.lineno
+        if any(
+            line in ctx.comments
+            for line in range(node.lineno, last + 1)
+        ):
+            return
+        caught = "bare except" if node.type is None else "except Exception"
+        ctx.report(
+            self, node.lineno,
+            f"{caught} swallows the error — re-raise, set_exception() on "
+            f"a Future, or justify with a comment on the handler (and "
+            f"consider recording it, e.g. perf.count('...error'))",
+        )

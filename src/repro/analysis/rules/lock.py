@@ -1,0 +1,154 @@
+"""REPRO-LOCK: lock-owning classes must mutate state under their lock.
+
+The PR 3 bug class: ``PerfRegistry`` owned a ``threading.Lock`` yet ran
+``self._stats[path] = stat`` / ``stat.calls += 1`` read-modify-writes
+outside it, silently corrupting span trees under the multi-threaded
+serving engine. Statically: inside any class that assigns
+``self.<attr> = threading.Lock()`` (or ``RLock``), every method other
+than ``__init__`` must only mutate ``self.<attr>`` / ``self.<attr>[...]``
+inside a ``with self.<lock>`` block.
+
+``__init__`` is exempt (construction happens before the object is
+shared); reads are never flagged (benign-race reads are a judgement
+call the rule leaves to review); mutations through method calls
+(``self._ring.append(...)``) are out of static reach and likewise left
+to review.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import FileContext
+from repro.analysis.rules import Rule, register
+
+_LOCK_FACTORIES = {"Lock", "RLock"}
+
+
+def _is_lock_factory(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return (
+            func.attr in _LOCK_FACTORIES
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "threading"
+        )
+    return isinstance(func, ast.Name) and func.id in _LOCK_FACTORIES
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.<attr>`` or ``self.<attr>[...]`` mutation target → attr."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutation_targets(stmt: ast.stmt):
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            elts = target.elts if isinstance(target, ast.Tuple) else [target]
+            yield from elts
+    elif isinstance(stmt, ast.AugAssign):
+        yield stmt.target
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        yield stmt.target
+    elif isinstance(stmt, ast.Delete):
+        yield from stmt.targets
+
+
+def _child_blocks(stmt: ast.stmt):
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if block:
+            yield block
+    for handler in getattr(stmt, "handlers", []) or []:
+        yield handler.body
+    for case in getattr(stmt, "cases", []) or []:
+        yield case.body
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "REPRO-LOCK"
+    description = (
+        "attributes of a class that owns a threading lock must only be "
+        "mutated inside a 'with self.<lock>' block"
+    )
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.ClassDef):
+            locks = self._lock_attrs(node)
+            if locks:
+                for stmt in node.body:
+                    if (
+                        isinstance(stmt, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef))
+                        and stmt.name != "__init__"
+                    ):
+                        self._scan(stmt.body, node, stmt, locks, False, ctx)
+
+    @staticmethod
+    def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+        locks: set[str] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign) and _is_lock_factory(node.value):
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        locks.add(attr)
+        return locks
+
+    @staticmethod
+    def _holds_lock(stmt: ast.With | ast.AsyncWith, locks: set[str]) -> bool:
+        for item in stmt.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in locks
+            ):
+                return True
+        return False
+
+    def _scan(
+        self,
+        body: list[ast.stmt],
+        cls: ast.ClassDef,
+        method: ast.AST,
+        locks: set[str],
+        held: bool,
+        ctx: FileContext,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = held or self._holds_lock(stmt, locks)
+                self._scan(stmt.body, cls, method, locks, inner, ctx)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A closure may run on another thread; never assume the
+                # enclosing 'with' still holds when it executes.
+                self._scan(stmt.body, cls, stmt, locks, False, ctx)
+                continue
+            if not held:
+                for target in _mutation_targets(stmt):
+                    attr = _self_attr(target)
+                    if attr is not None and attr not in locks:
+                        lock = sorted(locks)[0]
+                        name = getattr(method, "name", "?")
+                        ctx.report(
+                            self, stmt.lineno,
+                            f"self.{attr} mutated outside 'with "
+                            f"self.{lock}' in {cls.name}.{name}() "
+                            f"(class owns a threading lock)",
+                        )
+            for block in _child_blocks(stmt):
+                self._scan(block, cls, method, locks, held, ctx)

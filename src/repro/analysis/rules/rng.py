@@ -1,0 +1,134 @@
+"""REPRO-RNG: randomness must flow through an explicit Generator.
+
+The paper's Table IV/V numbers are multi-seed means; risk labels are
+only comparable across runs when every sampling decision derives from a
+seeded ``np.random.Generator`` threaded through as a parameter (the
+``nn/init.py`` / ``corpus/generator.py`` idiom, plus
+``repro.core.rng.stream`` for named substreams). Legacy module-level
+``np.random.*`` calls and stdlib ``random.*`` mutate hidden process
+globals: any library call may advance them, silently reshuffling every
+downstream sample.
+
+Allowed: ``np.random.default_rng`` / ``Generator`` / ``SeedSequence`` /
+bit generators, and seeded ``random.Random(seed)`` instances (an
+explicit generator object, the stdlib analogue of ``Generator``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import FileContext
+from repro.analysis.rules import Rule, register
+
+#: numpy.random attributes that touch the hidden global RandomState.
+NUMPY_LEGACY = {
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "ranf", "sample", "choice", "shuffle", "permutation", "normal",
+    "uniform", "binomial", "poisson", "beta", "gamma", "exponential",
+    "multinomial", "standard_normal", "get_state", "set_state",
+    "RandomState",
+}
+
+#: stdlib random module functions that mutate the process-global state.
+STDLIB_GLOBAL = {
+    "seed", "random", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform", "triangular", "betavariate",
+    "expovariate", "gammavariate", "gauss", "lognormvariate",
+    "normalvariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "getrandbits", "randbytes",
+}
+
+
+@register
+class RngDisciplineRule(Rule):
+    id = "REPRO-RNG"
+    description = (
+        "no legacy np.random.* or process-global random.* — pass an "
+        "explicit seeded np.random.Generator instead"
+    )
+
+    def begin_file(self, ctx: FileContext) -> None:
+        # Pre-scan imports so uses that lexically precede a late import
+        # still resolve (the engine walk is breadth-first).
+        self._numpy: set[str] = set()
+        self._numpy_random: set[str] = set()
+        self._stdlib: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy":
+                        self._numpy.add(bound)
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            self._numpy_random.add(alias.asname)
+                        else:
+                            self._numpy.add("numpy")
+                    elif alias.name == "random":
+                        self._stdlib.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self._numpy_random.add(alias.asname or "random")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.ImportFrom):
+            self._visit_import_from(node, ctx)
+        elif isinstance(node, ast.Attribute):
+            self._visit_attribute(node, ctx)
+
+    def _visit_import_from(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        if node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name in NUMPY_LEGACY:
+                    ctx.report(
+                        self, node.lineno,
+                        f"legacy 'from numpy.random import {alias.name}' — "
+                        f"use np.random.default_rng(seed) and pass the "
+                        f"Generator explicitly",
+                    )
+        elif node.module == "random":
+            for alias in node.names:
+                if alias.name in STDLIB_GLOBAL:
+                    ctx.report(
+                        self, node.lineno,
+                        f"'from random import {alias.name}' binds the "
+                        f"process-global RNG — use a seeded "
+                        f"np.random.Generator (or random.Random(seed))",
+                    )
+
+    def _visit_attribute(self, node: ast.Attribute, ctx: FileContext) -> None:
+        value = node.value
+        # np.random.<legacy> through a numpy module alias
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self._numpy
+            and node.attr in NUMPY_LEGACY
+        ):
+            ctx.report(
+                self, node.lineno,
+                f"legacy global-state 'np.random.{node.attr}' — use "
+                f"np.random.default_rng(seed) and pass the Generator "
+                f"explicitly",
+            )
+            return
+        if isinstance(value, ast.Name):
+            # <npr>.<legacy> through an 'import numpy.random as npr' alias
+            if value.id in self._numpy_random and node.attr in NUMPY_LEGACY:
+                ctx.report(
+                    self, node.lineno,
+                    f"legacy global-state 'numpy.random.{node.attr}' — "
+                    f"use np.random.default_rng(seed) instead",
+                )
+            # stdlib random.<fn> on the module-global generator
+            elif value.id in self._stdlib and node.attr in STDLIB_GLOBAL:
+                ctx.report(
+                    self, node.lineno,
+                    f"process-global 'random.{node.attr}' — seed an "
+                    f"np.random.Generator (or random.Random(seed)) and "
+                    f"pass it explicitly",
+                )

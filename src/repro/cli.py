@@ -15,6 +15,9 @@ metrics     Exercise the serving stack, then export telemetry as
             previously saved snapshot with --input).
 trace       Exercise the serving stack, then print recent per-request
             traces from the engine's ring buffer.
+lint        Run the repo's AST static-analysis rules (REPRO-LOCK,
+            REPRO-RNG, REPRO-TWIN, REPRO-CLOCK, REPRO-METRIC,
+            REPRO-EXCEPT) over src/ or the given paths.
 """
 
 from __future__ import annotations
@@ -267,6 +270,12 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def cmd_trace(args) -> int:
     import json as _json
 
@@ -385,6 +394,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--format", default="table",
                          choices=["table", "json"])
     p_trace.set_defaults(func=cmd_trace)
+
+    from repro.analysis.cli import add_lint_arguments
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repro static-analysis rules "
+             "(see docs/static_analysis.md)",
+    )
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -146,6 +146,10 @@ class BuildCache:
                 report=stages["report"],
             )
         except Exception:
+            # Deliberate degradation: a corrupt/stale entry is a cache
+            # miss and the build below rewrites it — but count the event
+            # so silent cache corruption shows up in telemetry.
+            perf.count("cache.read_error")
             return None
 
     def store(self, key: str, result: BuildResult) -> None:

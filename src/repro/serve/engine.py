@@ -181,7 +181,9 @@ class InferenceEngine:
             return ids
 
         pipeline.encode_post = cached_encode_post
-        self._original_encode = (pipeline, encode)
+        # Runs from __init__, before the batcher/worker threads exist;
+        # locking here would imply a concurrency that cannot happen yet.
+        self._original_encode = (pipeline, encode)  # repro: noqa[REPRO-LOCK]
 
     def _uninstall_tokenization_cache(self) -> None:
         if self._original_encode is not None:
@@ -387,7 +389,8 @@ class InferenceEngine:
     def close(self) -> None:
         if self._closed:
             return
-        self._closed = True
+        with self._lock:
+            self._closed = True
         self._queue.put(_SHUTDOWN)
         self._batcher.join(timeout=5.0)
         # The batcher has stopped producing; let the workers drain the

@@ -1,0 +1,73 @@
+"""Vendored pre-fix PerfRegistry snippet — REPRO-LOCK regression fixture.
+
+Condensed from ``src/repro/perf/__init__.py`` as of the commit before
+PR 3's thread-safety hotfix ("Fix PerfRegistry thread safety and
+write_json key clobbering"): the registry shared one ``_stats`` dict and
+one ``_stack`` across every thread and updated them with unlocked
+read-modify-writes, so the micro-batching engine's batcher + worker
+threads silently corrupted span trees. The ``setdefault`` of the
+original is spelled out as the get/store it performs, and the class owns
+the ``threading.Lock`` the hotfix introduced — with ``span``/``count``
+still mutating outside it, which is precisely the intermediate state
+REPRO-LOCK exists to reject.
+
+This file is analyzer *input* (tests/analysis/test_lock_regression.py);
+it is never imported by production code and must not be "fixed".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass
+class PerfStat:
+    path: str
+    total_s: float = 0.0
+    calls: int = 0
+    count: int = 0
+
+
+class PerfRegistry:
+    """Pre-fix registry: lock-owning, but the hot path ignores the lock."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._stats: dict[str, PerfStat] = {}
+        self._stack: list[str] = []
+
+    def _path(self, name: str) -> str:
+        return "/".join([*self._stack, name])
+
+    @contextmanager
+    def span(self, name: str):
+        path = self._path(name)
+        self._stack.append(name)
+        start = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - start
+            self._stack.pop()
+            stat = self._stats.get(path)
+            if stat is None:
+                stat = PerfStat(path)
+                self._stats[path] = stat  # unlocked read-modify-write
+            stat.total_s += elapsed
+            stat.calls += 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        path = self._path(name)
+        stat = self._stats.get(path)
+        if stat is None:
+            stat = PerfStat(path)
+            self._stats[path] = stat  # unlocked read-modify-write
+        stat.count += n
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats.clear()

@@ -1,0 +1,160 @@
+"""Baseline mechanics: matching, line drift, staleness, justification."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineEntry, BaselineError
+from repro.analysis.engine import LintEngine
+from repro.analysis.rules.rng import RngDisciplineRule
+
+
+def _lint_file(tmp_path, source: str):
+    target = tmp_path / "mod.py"
+    target.write_text(source, encoding="utf-8")
+    engine = LintEngine(rules=[RngDisciplineRule()], root=tmp_path)
+    return engine.run([target]).findings
+
+
+VIOLATION = "x = random.random()"
+
+
+def _entry(description="grandfathered while the sampler migrates"):
+    return BaselineEntry(
+        rule="REPRO-RNG",
+        path="mod.py",
+        context=VIOLATION,
+        description=description,
+    )
+
+
+def test_matching_entry_moves_finding_out_of_new(tmp_path):
+    findings = _lint_file(tmp_path, f"import random\n{VIOLATION}\n")
+    new, baselined, stale = Baseline(entries=[_entry()]).apply(findings)
+    assert new == []
+    assert [f.rule for f in baselined] == ["REPRO-RNG"]
+    assert stale == []
+
+
+def test_matching_survives_line_number_drift(tmp_path):
+    # Same violation, pushed down by unrelated edits: the entry matches
+    # on (rule, path, context), not on the line number.
+    findings = _lint_file(
+        tmp_path,
+        "import random\n\n\nVERSION = 2\n\n" + VIOLATION + "\n",
+    )
+    assert findings[0].line == 6
+    new, baselined, stale = Baseline(entries=[_entry()]).apply(findings)
+    assert new == [] and stale == []
+
+
+def test_unmatched_entry_is_stale(tmp_path):
+    findings = _lint_file(
+        tmp_path, "import numpy as np\nrng = np.random.default_rng(0)\n"
+    )
+    new, baselined, stale = Baseline(entries=[_entry()]).apply(findings)
+    assert findings == [] and new == [] and baselined == []
+    assert stale == [_entry()]
+
+
+def test_one_entry_may_cover_repeated_identical_lines(tmp_path):
+    findings = _lint_file(
+        tmp_path, f"import random\n{VIOLATION}\n{VIOLATION}\n"
+    )
+    assert len(findings) == 2
+    new, baselined, stale = Baseline(entries=[_entry()]).apply(findings)
+    assert new == [] and len(baselined) == 2 and stale == []
+
+
+def test_write_load_roundtrip(tmp_path):
+    path = Baseline(entries=[_entry()]).write(tmp_path / "baseline.json")
+    assert Baseline.load(path).entries == [_entry()]
+
+
+def test_empty_description_is_rejected(tmp_path):
+    path = Baseline(entries=[_entry(description="  ")]).write(
+        tmp_path / "baseline.json"
+    )
+    with pytest.raises(BaselineError, match="empty description"):
+        Baseline.load(path)
+
+
+def test_missing_keys_are_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps({"version": 1, "entries": [{"rule": "REPRO-RNG"}]}),
+        encoding="utf-8",
+    )
+    with pytest.raises(BaselineError, match="missing"):
+        Baseline.load(path)
+
+
+def test_malformed_json_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(BaselineError, match="cannot read"):
+        Baseline.load(path)
+
+
+# -- CLI integration ---------------------------------------------------------
+
+
+def test_cli_baselined_finding_exits_zero(tmp_path, capsys):
+    from repro.analysis.cli import main
+
+    (tmp_path / "mod.py").write_text(
+        f"import random\n{VIOLATION}\n", encoding="utf-8"
+    )
+    baseline_path = Baseline(entries=[_entry()]).write(
+        tmp_path / "baseline.json"
+    )
+    rc = main([
+        str(tmp_path / "mod.py"), "--root", str(tmp_path),
+        "--baseline", str(baseline_path),
+    ])
+    assert rc == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_cli_stale_entry_exits_one(tmp_path, capsys):
+    from repro.analysis.cli import main
+
+    # The violation was fixed but its baseline entry was not deleted.
+    (tmp_path / "mod.py").write_text("x = 1\n", encoding="utf-8")
+    baseline_path = Baseline(entries=[_entry()]).write(
+        tmp_path / "baseline.json"
+    )
+    rc = main([
+        str(tmp_path / "mod.py"), "--root", str(tmp_path),
+        "--baseline", str(baseline_path),
+    ])
+    assert rc == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_cli_no_baseline_flag_reports_grandfathered_findings(tmp_path, capsys):
+    from repro.analysis.cli import main
+
+    (tmp_path / "mod.py").write_text(
+        f"import random\n{VIOLATION}\n", encoding="utf-8"
+    )
+    Baseline(entries=[_entry()]).write(tmp_path / "lint_baseline.json")
+    assert main([str(tmp_path / "mod.py"), "--root", str(tmp_path)]) == 0
+    rc = main([
+        str(tmp_path / "mod.py"), "--root", str(tmp_path), "--no-baseline",
+    ])
+    assert rc == 1
+
+
+def test_cli_malformed_baseline_exits_two(tmp_path, capsys):
+    from repro.analysis.cli import main
+
+    (tmp_path / "mod.py").write_text("x = 1\n", encoding="utf-8")
+    bad = tmp_path / "baseline.json"
+    bad.write_text("[]", encoding="utf-8")
+    rc = main([
+        str(tmp_path / "mod.py"), "--root", str(tmp_path),
+        "--baseline", str(bad),
+    ])
+    assert rc == 2
+    assert "repro lint:" in capsys.readouterr().err

@@ -1,0 +1,45 @@
+"""Regression guard: REPRO-LOCK must catch the original PR 3 bug class.
+
+``pr3_registry_prefix.py`` vendors the pre-fix ``PerfRegistry`` hot path
+(see its docstring for the adaptation note). If a refactor of the lock
+rule ever stops flagging those unlocked read-modify-writes, this test —
+not a production data race — is what fails.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import LintEngine
+from repro.analysis.rules.lock import LockDisciplineRule
+
+FIXTURE = Path(__file__).with_name("pr3_registry_prefix.py")
+
+
+@pytest.mark.perf_smoke
+def test_prefix_perf_registry_unlocked_writes_are_flagged():
+    engine = LintEngine(rules=[LockDisciplineRule()], root=FIXTURE.parent)
+    result = engine.run([FIXTURE])
+    findings = [f for f in result.findings if f.rule == "REPRO-LOCK"]
+    # One unlocked store in span()'s finally block, one in count().
+    assert len(findings) == 2, [f.as_dict() for f in result.findings]
+    for finding in findings:
+        assert "self._stats[path] = stat" in finding.context
+        assert "outside 'with self._lock'" in finding.message
+    assert {f.line for f in findings} == {
+        lineno
+        for lineno, line in enumerate(
+            FIXTURE.read_text(encoding="utf-8").splitlines(), start=1
+        )
+        if "unlocked read-modify-write" in line
+    }
+
+
+@pytest.mark.perf_smoke
+def test_fixed_registry_no_longer_trips_the_rule():
+    # The shipped registry (post-hotfix) must be lint-clean: the guard
+    # proves the rule separates the pre-fix and fixed implementations.
+    repo_root = FIXTURE.resolve().parents[2]
+    engine = LintEngine(rules=[LockDisciplineRule()], root=repo_root)
+    result = engine.run([repo_root / "src" / "repro" / "perf"])
+    assert result.findings == [], [f.as_dict() for f in result.findings]

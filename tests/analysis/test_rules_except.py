@@ -1,0 +1,126 @@
+"""REPRO-EXCEPT: true positives and false positives."""
+
+import textwrap
+
+from repro.analysis.engine import LintEngine
+from repro.analysis.rules.excepts import BroadExceptRule
+
+
+def lint(source: str):
+    engine = LintEngine(rules=[BroadExceptRule()])
+    return engine.check_source(textwrap.dedent(source), path="mod.py")
+
+
+# -- true positives ----------------------------------------------------------
+
+
+def test_silent_except_exception_is_flagged():
+    findings = lint("""\
+    def f():
+        try:
+            risky()
+        except Exception:
+            pass
+    """)
+    assert [f.rule for f in findings] == ["REPRO-EXCEPT"]
+    assert "except Exception" in findings[0].message
+
+
+def test_bare_except_is_flagged():
+    findings = lint("""\
+    def f():
+        try:
+            risky()
+        except:
+            return None
+    """)
+    assert len(findings) == 1
+    assert "bare except" in findings[0].message
+
+
+def test_broad_member_of_tuple_is_flagged():
+    findings = lint("""\
+    def f():
+        try:
+            risky()
+        except (ValueError, Exception):
+            return None
+    """)
+    assert len(findings) == 1
+
+
+def test_logging_without_reraise_is_still_flagged():
+    findings = lint("""\
+    def f(log):
+        try:
+            risky()
+        except BaseException as exc:
+            log.warning("boom %s", exc)
+    """)
+    assert len(findings) == 1
+
+
+# -- false positives ---------------------------------------------------------
+
+
+def test_reraise_is_clean():
+    assert lint("""\
+    def f():
+        try:
+            risky()
+        except Exception:
+            cleanup()
+            raise
+    """) == []
+
+
+def test_raise_from_is_clean():
+    assert lint("""\
+    def f():
+        try:
+            risky()
+        except Exception as exc:
+            raise RuntimeError("wrapped") from exc
+    """) == []
+
+
+def test_failing_a_future_is_clean():
+    assert lint("""\
+    def f(fut):
+        try:
+            risky()
+        except Exception as exc:
+            fut.set_exception(exc)
+    """) == []
+
+
+def test_justifying_comment_on_the_handler_is_clean():
+    assert lint("""\
+    def f():
+        try:
+            risky()
+        except Exception:  # deliberate: a corrupt entry is a cache miss
+            return None
+    """) == []
+
+
+def test_justifying_comment_between_except_and_body_is_clean():
+    assert lint("""\
+    def f():
+        try:
+            risky()
+        except Exception:
+            # Deliberate degradation: a corrupt entry is a cache miss
+            # and the caller rebuilds it; the event is counted.
+            return None
+    """) == []
+
+
+def test_narrow_handlers_are_out_of_scope():
+    assert lint("""\
+    def f():
+        try:
+            risky()
+        except (OSError, ValueError):
+            return None
+    """) == []

@@ -1,0 +1,148 @@
+"""REPRO-LOCK: true positives and false positives."""
+
+import textwrap
+
+from repro.analysis.engine import LintEngine
+from repro.analysis.rules.lock import LockDisciplineRule
+
+
+def lint(source: str):
+    engine = LintEngine(rules=[LockDisciplineRule()])
+    return engine.check_source(textwrap.dedent(source), path="mod.py")
+
+
+HEADER = """\
+import threading
+
+
+class Shared:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+        self._total = 0
+"""
+
+
+# -- true positives ----------------------------------------------------------
+
+
+def test_plain_assign_outside_lock_is_flagged():
+    findings = lint(HEADER + """
+    def clear(self):
+        self._items = {}
+""")
+    assert [f.rule for f in findings] == ["REPRO-LOCK"]
+    assert "self._items" in findings[0].message
+
+
+def test_augassign_outside_lock_is_flagged():
+    findings = lint(HEADER + """
+    def bump(self):
+        self._total += 1
+""")
+    assert len(findings) == 1
+
+
+def test_subscript_store_outside_lock_is_flagged():
+    findings = lint(HEADER + """
+    def put(self, key, value):
+        self._items[key] = value
+""")
+    assert len(findings) == 1
+
+
+def test_delete_outside_lock_is_flagged():
+    findings = lint(HEADER + """
+    def drop(self):
+        del self._items
+""")
+    assert len(findings) == 1
+
+
+def test_tuple_target_assign_outside_lock_is_flagged():
+    findings = lint(HEADER + """
+    def swap(self, total):
+        self._total, total = total, self._total
+""")
+    assert len(findings) == 1
+
+
+def test_mutation_in_closure_is_flagged_even_under_with():
+    # The closure may run on another thread long after the 'with' exits.
+    findings = lint(HEADER + """
+    def make(self):
+        with self._lock:
+            def cb():
+                self._total += 1
+            return cb
+""")
+    assert len(findings) == 1
+
+
+def test_rlock_counts_as_a_lock():
+    findings = lint("""\
+    import threading
+
+
+    class Shared:
+        def __init__(self):
+            self._lock = threading.RLock()
+            self._total = 0
+
+        def bump(self):
+            self._total += 1
+    """)
+    assert len(findings) == 1
+
+
+# -- false positives ---------------------------------------------------------
+
+
+def test_mutation_under_with_lock_is_clean():
+    assert lint(HEADER + """
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+""") == []
+
+
+def test_mutation_in_nested_block_under_with_lock_is_clean():
+    assert lint(HEADER + """
+    def put(self, key, value):
+        with self._lock:
+            if key not in self._items:
+                self._items[key] = value
+""") == []
+
+
+def test_init_is_exempt():
+    assert lint(HEADER) == []
+
+
+def test_class_without_lock_is_out_of_scope():
+    assert lint("""\
+    class Plain:
+        def __init__(self):
+            self._items = {}
+
+        def put(self, key, value):
+            self._items[key] = value
+    """) == []
+
+
+def test_local_and_nested_attribute_mutations_are_clean():
+    assert lint(HEADER + """
+    def read(self, key):
+        total = 0
+        total += 1
+        self._local.stack = []
+        return self._items.get(key, total)
+""") == []
+
+
+def test_method_call_mutation_is_left_to_review():
+    # append()/clear() through a method call is out of static reach.
+    assert lint(HEADER + """
+    def reset(self):
+        self._items.clear()
+""") == []

@@ -1,0 +1,99 @@
+"""REPRO-METRIC: true/false positives plus static↔runtime agreement."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import LintEngine, Severity
+from repro.analysis.rules.metric import MetricNameRule, is_renderable
+
+
+def lint(source: str):
+    engine = LintEngine(rules=[MetricNameRule()])
+    return engine.check_source(textwrap.dedent(source), path="mod.py")
+
+
+# -- true positives ----------------------------------------------------------
+
+
+def test_newline_in_metric_name_is_an_error():
+    findings = lint('perf.count("serve\\nbatch")\n')
+    assert [f.rule for f in findings] == ["REPRO-METRIC"]
+    assert findings[0].severity is Severity.ERROR
+    assert "invalid Prometheus" in findings[0].message
+
+
+def test_style_violation_is_a_warning_only():
+    findings = lint('with perf.span("Serve.Batch"):\n    pass\n')
+    assert [f.severity for f in findings] == [Severity.WARNING]
+    assert "lowercase dotted style" in findings[0].message
+
+
+def test_registry_named_receivers_are_in_scope():
+    findings = lint('registry.gauge("Bad Name")\n'
+                    '_REGISTRY.observe("Also Bad", 1.0)\n')
+    assert len(findings) == 2
+
+
+# -- false positives ---------------------------------------------------------
+
+
+def test_repo_style_names_are_clean():
+    assert lint(
+        'perf.count("cache.read_error")\n'
+        'perf.gauge("serve.queue_depth", 3)\n'
+        'with perf.span("run_repeated.seeds"):\n    pass\n'
+        'perf.observe("serve.request.latency_seconds", 0.1)\n'
+    ) == []
+
+
+def test_str_and_list_count_receivers_are_out_of_scope():
+    assert lint("""\
+    def f(text, xs):
+        return text.count("ABC") + xs.count(0)
+    """) == []
+
+
+def test_dynamic_names_are_left_to_runtime():
+    assert lint("""\
+    def f(name):
+        perf.count(name)
+        perf.count("prefix." + name)
+        perf.count(f"serve.{name}")
+    """) == []
+
+
+def test_call_without_args_is_ignored():
+    assert lint("perf.count()\n") == []
+
+
+# -- static/runtime agreement ------------------------------------------------
+
+AGREEMENT_FIXTURES = [
+    "serve.batch",
+    "run_repeated.seeds",
+    "serve.request.latency_seconds",
+    "Serve.Batch",          # style-only: renderable, wrong case
+    "metric-name",          # style-only: renderable after sanitisation
+    "a\nb",                 # newline splits the # HELP line
+    "bad\nname.with\nnewlines",
+]
+
+
+@pytest.mark.parametrize("name", AGREEMENT_FIXTURES)
+def test_static_verdict_matches_runtime_export_pipeline(name):
+    from repro.perf.export import render_prometheus, validate_prometheus
+
+    try:
+        validate_prometheus(render_prometheus({"counters": {name: 1}}))
+        runtime_ok = True
+    except ValueError:
+        runtime_ok = False
+
+    assert is_renderable(name) == runtime_ok
+
+    findings = lint(f"perf.count({name!r})\n")
+    static_error = any(f.severity is Severity.ERROR for f in findings)
+    assert static_error == (not runtime_ok), (
+        f"static analyzer and repro.perf.export disagree on {name!r}"
+    )

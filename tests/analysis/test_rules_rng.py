@@ -1,0 +1,119 @@
+"""REPRO-RNG: true positives and false positives."""
+
+import textwrap
+
+from repro.analysis.engine import LintEngine
+from repro.analysis.rules.rng import RngDisciplineRule
+
+
+def lint(source: str):
+    engine = LintEngine(rules=[RngDisciplineRule()])
+    return engine.check_source(textwrap.dedent(source), path="mod.py")
+
+
+# -- true positives ----------------------------------------------------------
+
+
+def test_np_random_seed_is_flagged():
+    findings = lint("""\
+    import numpy as np
+
+    np.random.seed(0)
+    """)
+    assert [f.rule for f in findings] == ["REPRO-RNG"]
+    assert "np.random.seed" in findings[0].message
+
+
+def test_np_random_sampling_calls_are_flagged():
+    findings = lint("""\
+    import numpy as np
+
+    a = np.random.rand(3)
+    b = np.random.randint(0, 10)
+    np.random.shuffle(a)
+    """)
+    assert len(findings) == 3
+
+
+def test_numpy_random_module_alias_is_flagged():
+    findings = lint("""\
+    import numpy.random as npr
+
+    x = npr.normal(0.0, 1.0)
+    """)
+    assert len(findings) == 1
+
+
+def test_from_numpy_import_random_alias_is_flagged():
+    findings = lint("""\
+    from numpy import random as nprand
+
+    x = nprand.uniform()
+    """)
+    assert len(findings) == 1
+
+
+def test_from_numpy_random_import_legacy_name_is_flagged():
+    findings = lint("from numpy.random import shuffle\n")
+    assert len(findings) == 1
+
+
+def test_stdlib_random_module_calls_are_flagged():
+    findings = lint("""\
+    import random
+
+    x = random.choice([1, 2, 3])
+    random.seed(7)
+    """)
+    assert len(findings) == 2
+
+
+def test_from_random_import_global_fn_is_flagged():
+    findings = lint("from random import shuffle\n")
+    assert len(findings) == 1
+
+
+def test_use_before_late_import_is_still_flagged():
+    # Imports are pre-scanned, so lexical order does not matter.
+    findings = lint("""\
+    def f():
+        import random
+        return random.random()
+    """)
+    assert len(findings) == 1
+
+
+# -- false positives ---------------------------------------------------------
+
+
+def test_default_rng_and_generator_api_are_clean():
+    assert lint("""\
+    import numpy as np
+
+    rng = np.random.default_rng(1234)
+    x = rng.random(8)
+    rng.shuffle(x)
+    ss = np.random.SeedSequence(5)
+    gen: np.random.Generator = np.random.default_rng(ss)
+    """) == []
+
+
+def test_seeded_random_random_instance_is_clean():
+    assert lint("""\
+    import random
+
+    rng = random.Random(7)
+    x = rng.choice([1, 2, 3])
+    """) == []
+
+
+def test_unrelated_module_named_random_attribute_is_clean():
+    # 'self.random' / 'config.random' are not the stdlib module.
+    assert lint("""\
+    def f(config):
+        return config.random.choice([1])
+    """) == []
+
+
+def test_non_legacy_from_imports_are_clean():
+    assert lint("from numpy.random import default_rng, Generator\n") == []

@@ -1,0 +1,112 @@
+"""REPRO-TWIN: true positives and false positives (cross-file rule)."""
+
+import textwrap
+
+from repro.analysis.engine import LintEngine
+from repro.analysis.rules.twin import ReferenceTwinRule, twin_candidates
+
+
+def run_twin(tmp_path, kernel_source: str, test_source: str | None = None):
+    """Lint one kernel module inside a throwaway project root."""
+    tests_dir = tmp_path / "tests"
+    tests_dir.mkdir(exist_ok=True)
+    if test_source is not None:
+        (tests_dir / "test_equiv.py").write_text(
+            textwrap.dedent(test_source), encoding="utf-8"
+        )
+    kernel = tmp_path / "kernels.py"
+    kernel.write_text(textwrap.dedent(kernel_source), encoding="utf-8")
+    engine = LintEngine(rules=[ReferenceTwinRule()], root=tmp_path)
+    return engine.run([kernel]).findings
+
+
+def test_twin_candidates_handle_underscore_and_infix_forms():
+    assert twin_candidates("scatter_add_rows_reference") == {
+        "scatter_add_rows"
+    }
+    assert twin_candidates("_train_reference") == {"_train", "train"}
+    assert twin_candidates("_train_reference_from_frequencies") == {
+        "_train_from_frequencies", "train_from_frequencies",
+    }
+
+
+# -- true positives ----------------------------------------------------------
+
+
+def test_reference_without_twin_is_flagged(tmp_path):
+    findings = run_twin(tmp_path, """\
+    def scan_reference(xs):
+        return sorted(xs)
+    """)
+    assert [f.rule for f in findings] == ["REPRO-TWIN"]
+    assert "no fast twin" in findings[0].message
+
+
+def test_reference_without_equivalence_test_is_flagged(tmp_path):
+    findings = run_twin(tmp_path, """\
+    def scan(xs):
+        return sorted(xs)
+
+
+    def scan_reference(xs):
+        return sorted(xs)
+    """, test_source="def test_unrelated():\n    assert True\n")
+    assert [f.rule for f in findings] == ["REPRO-TWIN"]
+    assert "equivalence test" in findings[0].message
+
+
+def test_twin_in_another_module_does_not_count(tmp_path):
+    (tmp_path / "fast.py").write_text(
+        "def scan(xs):\n    return sorted(xs)\n", encoding="utf-8"
+    )
+    findings = run_twin(tmp_path, """\
+    def scan_reference(xs):
+        return sorted(xs)
+    """, test_source="from kernels import scan_reference\n")
+    # fast.py is not even linted; same-module means same module.
+    assert [f.rule for f in findings] == ["REPRO-TWIN"]
+
+
+# -- false positives ---------------------------------------------------------
+
+
+def test_paired_and_tested_reference_is_clean(tmp_path):
+    assert run_twin(tmp_path, """\
+    def scan(xs):
+        return sorted(xs)
+
+
+    def scan_reference(xs):
+        return sorted(xs)
+    """, test_source="""\
+    from kernels import scan, scan_reference
+
+
+    def test_equivalence():
+        assert scan([2, 1]) == scan_reference([2, 1])
+    """) == []
+
+
+def test_private_reference_with_public_twin_is_clean(tmp_path):
+    assert run_twin(tmp_path, """\
+    class Tok:
+        def train(self, xs):
+            return xs
+
+        def _train_reference(self, xs):
+            return xs
+    """, test_source="# exercises Tok._train_reference against train\n") == []
+
+
+def test_function_without_reference_marker_is_out_of_scope(tmp_path):
+    assert run_twin(tmp_path, """\
+    def preference_score(xs):
+        return sum(xs)
+    """) == []
+
+
+def test_noqa_on_the_def_line_suppresses(tmp_path):
+    assert run_twin(tmp_path, """\
+    def scan_reference(xs):  # repro: noqa[REPRO-TWIN]
+        return sorted(xs)
+    """) == []
