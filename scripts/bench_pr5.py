@@ -1,0 +1,181 @@
+"""PR 5 benchmark: multi-process worker pool vs the single engine.
+
+Measures ``predict_many`` throughput for the in-process engine and for
+a ``WorkerPool`` at 1, 2 and 4 workers over the same traffic, plus the
+shared-memory arena footprint and the float32-cast accuracy delta.
+
+Output correctness is a hard gate: at every worker count the pool's
+labels must be bitwise-identical to the single engine's, and in float64
+mode (the default) the probabilities must be bitwise-identical too.
+
+The throughput gate is conditional on hardware. Scaling to 4 worker
+processes can only beat the single engine 2x when the host actually
+exposes enough cores to run them; on a CPU-starved container the pool
+degrades to time-slicing the same core and the bench records
+``cpu_limited`` instead of faking a speedup. Both the usable-core count
+and the raw speedups land in the JSON so the numbers can be judged in
+context.
+
+Writes machine-readable results to BENCH_PR5.json (checks evaluated at
+exit, non-zero on failure).
+
+Usage:
+    PYTHONPATH=src python scripts/bench_pr5.py [scale] [output.json]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import perf
+from repro.core.config import CorpusConfig
+from repro.core.pipeline import build_dataset
+from repro.models import export_state, import_state
+from repro.models.neural_common import TrainerConfig
+from repro.models.plm import PLMConfig
+from repro.models.roberta import RobertaRiskModel
+from repro.serve import EngineConfig, PoolConfig, run_pool_bench
+from repro.temporal.windows import PostWindow
+
+WORKER_COUNTS = (1, 2, 4)
+SPEEDUP_TARGET = 2.0  # 4-worker pool vs single engine, given the cores
+FLOAT32_PROB_TOL = 1e-4  # documented cast tolerance (tests/models)
+
+
+def train_small_plm(splits, pretrain_texts):
+    """Same compact PLM as scripts/bench_pr2.py, for comparable numbers."""
+    model = RobertaRiskModel(
+        config=PLMConfig(dim=16, num_layers=1, num_heads=2, ffn_hidden=32,
+                         max_len=96),
+        trainer=TrainerConfig(epochs=2, batch_size=16, patience=3, seed=0),
+        pretrain_texts=pretrain_texts[:2000],
+        pretrain_steps=30,
+        seed=0,
+    )
+    model.fit(splits.train, splits.validation)
+    return model
+
+
+def single_post_windows(windows):
+    """One-post windows — the serving unit (see scripts/bench_pr2.py)."""
+    return [
+        PostWindow(author=w.author, posts=(post,), label=w.label)
+        for w in windows
+        for post in w.posts
+    ]
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def float32_cast_figures(model, windows) -> dict:
+    full = export_state(model)
+    cast = export_state(model, cast_float32=True)
+    clone = import_state(cast.skeleton, cast.manifest, cast.arena)
+    reference = model.predict_proba(windows)
+    delta = np.abs(clone.predict_proba(windows) - reference)
+    return {
+        "arena_nbytes_float64": full.nbytes,
+        "arena_nbytes_float32": cast.nbytes,
+        "compression_ratio": full.nbytes / max(cast.nbytes, 1),
+        "max_prob_delta": float(delta.max()) if delta.size else 0.0,
+        "labels_identical": bool(
+            np.array_equal(
+                clone.predict(windows), reference.argmax(axis=1)
+            )
+        ),
+    }
+
+
+def main(argv: list[str]) -> int:
+    scale = float(argv[0]) if argv else 0.1
+    output = Path(argv[1]) if len(argv) > 1 else Path("BENCH_PR5.json")
+
+    perf.reset()
+    cpus = usable_cpus()
+    print(f"bench_pr5: scale={scale} usable_cpus={cpus}")
+    results: dict = {"scale": scale, "usable_cpus": cpus}
+
+    build = build_dataset(CorpusConfig().scaled(scale), near_dedup=False)
+    splits = build.dataset.splits()
+    model = train_small_plm(splits, build.dataset.pretrain_texts)
+    windows = single_post_windows(
+        (splits.test or []) + (splits.validation or []) + splits.train
+    )[:64]
+
+    pool_runs: dict[str, dict] = {}
+    for workers in WORKER_COUNTS:
+        bench = run_pool_bench(
+            model, windows, requests=256,
+            config=PoolConfig(
+                num_workers=workers,
+                engine=EngineConfig(max_batch_size=32),
+            ),
+        )
+        pool_runs[str(workers)] = bench.as_dict()
+        print(f"  {workers}w  engine {bench.single_throughput:8.1f} rps  "
+              f"pool {bench.pool_throughput:8.1f} rps  "
+              f"({bench.speedup:.2f}x)  "
+              f"labels={'ok' if bench.labels_identical else 'MISMATCH'}  "
+              f"bitwise={'ok' if bench.probs_bitwise_identical else 'NO'}")
+    results["pool"] = pool_runs
+    results["arena_nbytes"] = pool_runs["1"]["arena_nbytes"]
+
+    results["float32_cast"] = float32_cast_figures(model, windows)
+    f32 = results["float32_cast"]
+    print(f"  arena        {f32['arena_nbytes_float64']} B float64 -> "
+          f"{f32['arena_nbytes_float32']} B float32 "
+          f"({f32['compression_ratio']:.2f}x), "
+          f"max prob delta {f32['max_prob_delta']:.2e}")
+
+    four = pool_runs["4"]
+    speedup_4w = four["speedup"]
+    # 4 worker processes + the parent need ~5 usable cores before the
+    # 2x bar is physically reachable; below that, record the hardware
+    # limit instead of pretending the bound was met.
+    cpu_limited = cpus < 5
+    results["speedup_4_workers"] = speedup_4w
+    results["cpu_limited"] = cpu_limited
+
+    checks = {
+        "pool_labels_bitwise_identical": all(
+            run["labels_identical"] and run["probs_bitwise_identical"]
+            for run in pool_runs.values()
+        ),
+        "float32_delta_within_tolerance": (
+            f32["max_prob_delta"] < FLOAT32_PROB_TOL
+        ),
+        "pool_4w_speedup_or_cpu_limited": (
+            speedup_4w >= SPEEDUP_TARGET or cpu_limited
+        ),
+        # Latency is observed per sharded chunk as its Future resolves,
+        # so the count tracks chunks (cumulative across runs), not raw
+        # requests — presence is what matters here.
+        "latency_samples_present": all(
+            run["latency"]["count"] > 0 for run in pool_runs.values()
+        ),
+    }
+    results["checks"] = checks
+
+    if cpu_limited and speedup_4w < SPEEDUP_TARGET:
+        print(f"  NOTE: {cpus} usable core(s) — 4-worker speedup "
+              f"{speedup_4w:.2f}x recorded as cpu_limited, not a pass "
+              f"of the {SPEEDUP_TARGET:.0f}x bar")
+    for name, ok in checks.items():
+        print(f"  check {name:<34} {'PASS' if ok else 'FAIL'}")
+
+    perf.write_json(output, extra={"benchmarks": results})
+    print(f"wrote {output}")
+    return 0 if all(checks.values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,7 +9,8 @@ bench       Run one paper experiment (table1..table4, fig1, fig23, fig4,
             kappa, ablations).
 serve-bench Train a baseline, then benchmark the micro-batched
             InferenceEngine against per-window scoring (throughput plus
-            p50/p90/p99 end-to-end latency and queue wait).
+            p50/p90/p99 end-to-end latency and queue wait); with
+            --workers N, also a multi-process WorkerPool phase.
 metrics     Exercise the serving stack, then export telemetry as
             Prometheus exposition text or a JSON snapshot (or render a
             previously saved snapshot with --input).
@@ -171,23 +172,59 @@ def cmd_serve_bench(args) -> int:
           f"({bench.async_s:.3f}s)")
     print(f"  labels identical: {bench.labels_identical}   "
           f"max prob diff: {bench.max_prob_diff:.2e}")
-    if bench.latency:
+    # A zero-sample run has count 0 and None quantiles; formatting them
+    # as 0.00ms would read as a perfect p99.
+    if bench.latency.get("count"):
         lat, qw = bench.latency, bench.queue_wait
         print(f"  latency      p50 {lat['p50_ms']:7.2f}ms  "
               f"p90 {lat['p90_ms']:7.2f}ms  p99 {lat['p99_ms']:7.2f}ms  "
-              f"max {lat['max_ms']:7.2f}ms")
+              f"max {lat['max_ms']:7.2f}ms  (n={lat['count']})")
         print(f"  queue wait   p50 {qw['p50_ms']:7.2f}ms  "
               f"p90 {qw['p90_ms']:7.2f}ms  p99 {qw['p99_ms']:7.2f}ms  "
               f"max {qw['max_ms']:7.2f}ms")
+    else:
+        print("  latency      (no samples — tracing disabled?)")
     stats = bench.engine_stats
     print(f"  batches: {stats['batches']}  "
           f"mean batch: {stats['mean_batch_size']:.1f}  "
           f"token cache hits: {stats['tokenization_cache']['hits']}  "
           f"slow requests: {stats['traces']['slow']}")
+
+    pool_bench = None
+    if args.workers:
+        from repro.serve import PoolConfig, run_pool_bench
+
+        pool_bench = run_pool_bench(
+            model,
+            splits.test,
+            requests=args.requests,
+            config=PoolConfig(
+                num_workers=args.workers,
+                engine=EngineConfig(
+                    max_batch_size=args.batch_size,
+                    max_wait_s=args.max_wait_s,
+                    num_workers=args.num_workers,
+                ),
+            ),
+        )
+        print(f"  pool ({pool_bench.workers} proc) "
+              f"{pool_bench.pool_throughput:8.1f} req/s "
+              f"({pool_bench.pool_s:.3f}s)  "
+              f"speedup vs engine {pool_bench.speedup:.2f}x")
+        print(f"  pool labels identical: {pool_bench.labels_identical}   "
+              f"probs bitwise: {pool_bench.probs_bitwise_identical}   "
+              f"arena: {pool_bench.arena_nbytes / 1024:.0f} KiB")
+
     if args.output:
-        out = perf.write_json(args.output, extra={"serve_bench": bench.as_dict()})
+        extra = {"serve_bench": bench.as_dict()}
+        if pool_bench is not None:
+            extra["pool_bench"] = pool_bench.as_dict()
+        out = perf.write_json(args.output, extra=extra)
         print(f"wrote serve bench report to {out}")
-    return 0 if bench.labels_identical else 1
+    ok = bench.labels_identical and (
+        pool_bench is None or pool_bench.labels_identical
+    )
+    return 0 if ok else 1
 
 
 def _serve_exercise(args):
@@ -361,6 +398,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="micro-batcher wait for stragglers")
     p_serve.add_argument("--num-workers", type=int, default=1,
                          help="threads executing coalesced batches")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="also benchmark a WorkerPool with this many "
+                              "engine processes (0 = skip the pool phase)")
     p_serve.add_argument("--pretrain-steps", type=int, default=100,
                          help="MLM steps for the PLM models")
     p_serve.add_argument("--output", default=None,

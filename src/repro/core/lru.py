@@ -65,6 +65,19 @@ class LRUCache:
         with self._lock:
             return len(self._data)
 
+    def __getstate__(self) -> dict[str, Any]:
+        # Locks are process-local; a pickled cache (e.g. riding inside a
+        # model skeleton handed to a worker process) gets a fresh one.
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_data"] = self._data.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def stats(self) -> dict[str, int]:
         """Snapshot of size and access counters."""
         with self._lock:

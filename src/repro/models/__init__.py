@@ -27,6 +27,7 @@ from repro.models.registry import (
     register_model,
 )
 from repro.models.roberta import RobertaRiskModel, RobertaRiskNetwork
+from repro.models.state import ModelState, export_state, import_state
 from repro.models.xgboost_baseline import XGBoostBaseline
 
 __all__ = [
@@ -59,4 +60,7 @@ __all__ = [
     "RobertaRiskModel",
     "RobertaRiskNetwork",
     "XGBoostBaseline",
+    "ModelState",
+    "export_state",
+    "import_state",
 ]

@@ -159,6 +159,22 @@ class Tensor:
     def numpy(self) -> np.ndarray:
         return self.data
 
+    # -- pickling -------------------------------------------------------------
+    # Autograd state is graph- and process-local: ``_backward`` closures
+    # capture intermediate arrays and cannot (and should not) cross a
+    # pickle boundary. A Tensor round-trips as a leaf — data, grad flag,
+    # name — which is exactly what weight handoff to worker processes
+    # needs (see repro.nn.arena).
+
+    def __getstate__(self):
+        return (self.data, self.requires_grad, self.name)
+
+    def __setstate__(self, state) -> None:
+        self.data, self.requires_grad, self.name = state
+        self.grad = None
+        self._backward = None
+        self._parents = ()
+
     def detach(self) -> "Tensor":
         return Tensor(self.data.copy())
 

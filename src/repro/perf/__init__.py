@@ -34,6 +34,7 @@ from pathlib import Path
 
 from repro.perf.export import (
     json_snapshot,
+    merge_snapshots,
     render_prometheus,
     validate_prometheus,
     write_json_snapshot,
@@ -56,6 +57,7 @@ __all__ = [
     "gauge",
     "get_registry",
     "json_snapshot",
+    "merge_snapshots",
     "observe",
     "render",
     "render_prometheus",

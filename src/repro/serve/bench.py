@@ -23,18 +23,39 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.serve.engine import EngineConfig, InferenceEngine
+from repro.serve.pool import PoolConfig, WorkerPool
 from repro.temporal.windows import PostWindow
 
-__all__ = ["ServeBenchResult", "latency_quantiles", "run_serve_bench"]
+__all__ = [
+    "PoolBenchResult",
+    "ServeBenchResult",
+    "latency_quantiles",
+    "run_pool_bench",
+    "run_serve_bench",
+]
 
 
 def latency_quantiles(samples_ms: list[float]) -> dict:
-    """p50/p90/p99/max (ms) of a latency sample list."""
+    """p50/p90/p99/max (ms) of a latency sample list, plus its size.
+
+    An empty sample list reports ``count: 0`` with ``None`` quantiles.
+    It used to report all-zero quantiles, which is indistinguishable
+    from a genuinely perfect p99 — a tracing-disabled run looked like
+    the fastest deployment on record. Consumers must check ``count``
+    before formatting the quantile fields.
+    """
     if not samples_ms:
-        return {"p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+        return {
+            "count": 0,
+            "p50_ms": None,
+            "p90_ms": None,
+            "p99_ms": None,
+            "max_ms": None,
+        }
     arr = np.asarray(samples_ms, dtype=np.float64)
     p50, p90, p99 = np.percentile(arr, [50, 90, 99])
     return {
+        "count": int(arr.size),
         "p50_ms": float(p50),
         "p90_ms": float(p90),
         "p99_ms": float(p99),
@@ -146,4 +167,116 @@ def run_serve_bench(
         async_throughput=requests / async_s if async_s else float("inf"),
         latency=latency,
         queue_wait=queue_wait,
+    )
+
+
+@dataclass
+class PoolBenchResult:
+    """Single-engine vs worker-pool timings and integrity checks."""
+
+    requests: int
+    workers: int
+    single_s: float
+    pool_s: float
+    single_throughput: float
+    pool_throughput: float
+    labels_identical: bool
+    probs_bitwise_identical: bool
+    max_prob_diff: float
+    arena_nbytes: int
+    cast: str
+    pool_stats: dict
+    latency: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.single_s / self.pool_s if self.pool_s else float("inf")
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "workers": self.workers,
+            "single_s": self.single_s,
+            "pool_s": self.pool_s,
+            "single_throughput_rps": self.single_throughput,
+            "pool_throughput_rps": self.pool_throughput,
+            "speedup": self.speedup,
+            "labels_identical": self.labels_identical,
+            "probs_bitwise_identical": self.probs_bitwise_identical,
+            "max_prob_diff": self.max_prob_diff,
+            "arena_nbytes": self.arena_nbytes,
+            "cast": self.cast,
+            "latency": self.latency,
+            "pool_stats": self.pool_stats,
+        }
+
+
+def run_pool_bench(
+    model,
+    windows: list[PostWindow],
+    requests: int = 256,
+    config: PoolConfig | None = None,
+) -> PoolBenchResult:
+    """Score the same traffic through one engine and through the pool.
+
+    The single-engine phase is the baseline the acceptance contract
+    refers to (its ``predict_many`` over the identical cycled traffic);
+    the pool phase shards that traffic across ``config.num_workers``
+    processes. Worker startup and model reconstruction happen outside
+    the timed region — steady-state throughput is what a deployment
+    sees. Integrity is checked both ways: labels must match bitwise,
+    and in float64 mode (``cast_float32=False``) the probabilities
+    themselves must be bitwise-identical.
+    """
+    if not windows:
+        raise ValueError("pool bench needs at least one window")
+    config = config or PoolConfig()
+    traffic = [windows[i % len(windows)] for i in range(requests)]
+
+    with InferenceEngine(model, config.engine) as engine:
+        engine.predict_many(traffic[:1])  # warm outside the timed region
+        start = time.perf_counter()
+        single = engine.predict_many(traffic)
+        single_s = time.perf_counter() - start
+
+    with WorkerPool(model, config) as pool:
+        pool.predict_many(traffic[:1])  # worker warm-up / first-touch
+        start = time.perf_counter()
+        pooled = pool.predict_many(traffic, timeout=300.0)
+        pool_s = time.perf_counter() - start
+        stats = pool.stats()
+    # Per-chunk end-to-end latency is observed parent-side as each
+    # Future resolves; worker snapshots contribute their serve.* spans.
+    merged = pool.merged_telemetry(include_parent=True)
+    lat_hist = merged.get("observations", {}).get(
+        "serve.pool.request.latency_seconds", {}
+    ).get("hist")
+    latency = (
+        {
+            "count": lat_hist["count"],
+            "p50_ms": lat_hist["p50_s"] * 1e3,
+            "p90_ms": lat_hist["p90_s"] * 1e3,
+            "p99_ms": lat_hist["p99_s"] * 1e3,
+            "max_ms": lat_hist["max_s"] * 1e3,
+        }
+        if lat_hist
+        else latency_quantiles([])
+    )
+
+    return PoolBenchResult(
+        requests=requests,
+        workers=config.num_workers,
+        single_s=single_s,
+        pool_s=pool_s,
+        single_throughput=requests / single_s if single_s else float("inf"),
+        pool_throughput=requests / pool_s if pool_s else float("inf"),
+        labels_identical=bool(
+            np.array_equal(single.argmax(axis=1), pooled.argmax(axis=1))
+        ),
+        probs_bitwise_identical=bool(np.array_equal(single, pooled)),
+        max_prob_diff=float(np.abs(single - pooled).max()),
+        arena_nbytes=stats["arena_nbytes"],
+        cast=stats["cast"],
+        pool_stats=stats,
+        latency=latency,
     )

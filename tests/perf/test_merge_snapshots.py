@@ -1,0 +1,136 @@
+"""merge_snapshots: cross-process telemetry aggregation.
+
+The worker pool ships one registry snapshot per worker process back to
+the parent; ``merge_snapshots`` folds them into a single
+registry-shaped dict. Counters and span totals must combine *exactly*;
+only the quantile estimates are approximate (they are re-derived from
+the merged coarse buckets).
+"""
+
+import math
+
+import pytest
+
+from repro.perf import (
+    PerfRegistry,
+    merge_snapshots,
+    render_prometheus,
+    validate_prometheus,
+)
+
+
+def _registry(latencies, requests, depth):
+    reg = PerfRegistry()
+    with reg.span("serve.predict_many"):
+        reg.count("serve.requests", requests)
+    reg.gauge("serve.queue_depth", depth)
+    for v in latencies:
+        reg.observe("serve.request.latency_seconds", v)
+    return reg
+
+
+def _pair():
+    a = _registry([0.001, 0.004, 0.02], requests=3, depth=1).snapshot()
+    b = _registry([0.002, 0.8], requests=5, depth=7).snapshot()
+    return a, b
+
+
+class TestExactFields:
+    def test_counters_sum(self):
+        merged = merge_snapshots(_pair())
+        # Counter paths nest under the active span.
+        (path,) = merged["counters"]
+        assert merged["counters"][path] == 8
+
+    def test_span_totals_and_calls_sum(self):
+        a, b = _pair()
+        merged = merge_snapshots([a, b])
+        span = merged["spans"]["serve.predict_many"]
+        assert span["calls"] == 2
+        expected = (
+            a["spans"]["serve.predict_many"]["total_s"]
+            + b["spans"]["serve.predict_many"]["total_s"]
+        )
+        assert span["total_s"] == pytest.approx(expected, rel=1e-12)
+
+    def test_hist_count_sum_min_max_exact(self):
+        merged = merge_snapshots(_pair())
+        hist = merged["observations"]["serve.request.latency_seconds"]["hist"]
+        assert hist["count"] == 5
+        assert hist["sum_s"] == pytest.approx(0.827, rel=1e-9)
+        assert hist["min_s"] == 0.001
+        assert hist["max_s"] == 0.8
+        assert hist["mean_s"] == pytest.approx(0.827 / 5, rel=1e-9)
+
+    def test_buckets_add_elementwise(self):
+        a, b = _pair()
+        merged = merge_snapshots([a, b])
+        obs = merged["observations"]["serve.request.latency_seconds"]
+        for (bound, count), (ba, ca), (bb, cb) in zip(
+            obs["buckets"],
+            a["observations"]["serve.request.latency_seconds"]["buckets"],
+            b["observations"]["serve.request.latency_seconds"]["buckets"],
+        ):
+            assert bound == ba == bb
+            assert count == ca + cb
+        assert obs["buckets"][-1][0] == math.inf
+        assert obs["buckets"][-1][1] == 5
+
+
+class TestQuantileEstimates:
+    def test_quantiles_bounded_by_observed_range(self):
+        merged = merge_snapshots(_pair())
+        hist = merged["observations"]["serve.request.latency_seconds"]["hist"]
+        assert 0.001 <= hist["p50_s"] <= hist["p90_s"] <= hist["p99_s"] <= 0.8
+
+    def test_single_snapshot_is_near_identity(self):
+        snap = _registry([0.01] * 10, requests=1, depth=0).snapshot()
+        merged = merge_snapshots([snap])
+        hist = merged["observations"]["serve.request.latency_seconds"]["hist"]
+        # All samples equal: min == max pins every quantile exactly.
+        assert hist["p50_s"] == hist["p99_s"] == 0.01
+
+
+class TestGauges:
+    def test_prefixes_namespace_each_snapshot(self):
+        merged = merge_snapshots(_pair(), gauge_prefixes=["w0", "w1"])
+        assert merged["gauges"]["w0.serve.queue_depth"] == 1.0
+        assert merged["gauges"]["w1.serve.queue_depth"] == 7.0
+
+    def test_none_prefix_keeps_bare_name(self):
+        merged = merge_snapshots(_pair(), gauge_prefixes=[None, "w1"])
+        assert merged["gauges"]["serve.queue_depth"] == 1.0
+        assert merged["gauges"]["w1.serve.queue_depth"] == 7.0
+
+    def test_without_prefixes_last_write_wins(self):
+        merged = merge_snapshots(_pair())
+        assert merged["gauges"]["serve.queue_depth"] == 7.0
+
+    def test_prefix_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            merge_snapshots(_pair(), gauge_prefixes=["only-one"])
+
+
+class TestContract:
+    def test_empty_list_merges_to_empty_snapshot(self):
+        merged = merge_snapshots([])
+        assert merged == {
+            "spans": {},
+            "counters": {},
+            "observations": {},
+            "gauges": {},
+        }
+
+    def test_bucket_layout_mismatch_rejected(self):
+        a, b = _pair()
+        bad = b["observations"]["serve.request.latency_seconds"]
+        bad["buckets"] = bad["buckets"][:-1]
+        with pytest.raises(ValueError, match="bucket layouts differ"):
+            merge_snapshots([a, b])
+
+    def test_merged_snapshot_renders_as_prometheus(self):
+        merged = merge_snapshots(_pair(), gauge_prefixes=["w0", "w1"])
+        text = render_prometheus(merged)
+        families = validate_prometheus(text)
+        assert "repro_serve_request_latency_seconds" in families
+        assert "repro_w0_serve_queue_depth" in families
